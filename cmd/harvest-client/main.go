@@ -1,0 +1,75 @@
+// Command harvest-client submits inference requests to a harvest-serve
+// instance and reports latency statistics.
+//
+// Usage:
+//
+//	harvest-client [-url http://127.0.0.1:8000] [-model ViT_Tiny]
+//	               [-requests 100] [-items 4] [-concurrency 8]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"harvest/internal/metrics"
+	"harvest/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("harvest-client: ")
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8000", "server base URL")
+		model       = flag.String("model", "ViT_Tiny", "model to query")
+		requests    = flag.Int("requests", 100, "number of requests")
+		items       = flag.Int("items", 4, "images per request")
+		concurrency = flag.Int("concurrency", 8, "in-flight requests")
+	)
+	flag.Parse()
+
+	client := serve.NewClient(*url)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := client.WaitReady(ctx); err != nil {
+		cancel()
+		log.Fatal(err)
+	}
+	cancel()
+
+	rec := &metrics.LatencyRecorder{}
+	sem := make(chan struct{}, *concurrency)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failed int
+	start := time.Now()
+	for i := 0; i < *requests; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			_, err := client.Infer(context.Background(), *model,
+				serve.InferRequestJSON{ID: fmt.Sprintf("req-%d", i), Items: *items})
+			if err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				return
+			}
+			rec.Observe(time.Since(t0).Seconds())
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	s := rec.Summary()
+	fmt.Printf("model=%s requests=%d failed=%d\n", *model, *requests, failed)
+	fmt.Printf("wall=%.2fs request-throughput=%.1f req/s image-throughput=%.1f img/s\n",
+		elapsed, float64(rec.Count())/elapsed, float64(rec.Count()**items)/elapsed)
+	fmt.Printf("latency ms: mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		s.Mean*1000, s.P50*1000, s.P95*1000, s.P99*1000, s.Max*1000)
+}

@@ -1,0 +1,63 @@
+// Command harvest-serve runs the HARVEST inference server (the Triton
+// analogue) over HTTP, hosting the four Table 3 models on a chosen
+// platform model.
+//
+// Usage:
+//
+//	harvest-serve [-addr :8000] [-platform A100|V100|Jetson]
+//	              [-models ViT_Tiny,ResNet50] [-queue-delay 2ms]
+//	              [-instances 1] [-timescale 1.0]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/hw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("harvest-serve: ")
+	var (
+		addr       = flag.String("addr", ":8000", "listen address")
+		platform   = flag.String("platform", hw.KeyA100, "platform model: A100, V100 or Jetson")
+		modelsArg  = flag.String("models", "", "comma-separated model names (default all four)")
+		queueDelay = flag.Duration("queue-delay", 2*time.Millisecond, "dynamic batching window")
+		instances  = flag.Int("instances", 1, "engine instances per model")
+		timescale  = flag.Float64("timescale", 1.0, "fraction of modeled latency to really sleep (0 = none)")
+	)
+	flag.Parse()
+
+	cfg := core.DeploymentConfig{
+		Platform:   *platform,
+		QueueDelay: *queueDelay,
+		Instances:  *instances,
+		TimeScale:  *timescale,
+	}
+	if *modelsArg != "" {
+		for _, m := range strings.Split(*modelsArg, ",") {
+			cfg.Models = append(cfg.Models, strings.TrimSpace(m))
+		}
+	}
+	srv, err := core.NewDeployment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	for _, name := range srv.Models() {
+		mc, err := srv.ModelConfigFor(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("registered %s (max batch %d, %d instance(s))", name, mc.MaxBatch, mc.Instances)
+	}
+	log.Printf("platform %s, serving on %s", *platform, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

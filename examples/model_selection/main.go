@@ -1,0 +1,71 @@
+// Model selection under a latency SLO — the guidance use case of the
+// paper's abstract ("how elaborately selected hyperparameters can
+// improve throughput under latency constraints"). For each platform and
+// each model the example finds the largest batch whose latency stays
+// under the SLO, then recommends the highest-throughput configuration.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+
+	"harvest/internal/engine"
+	"harvest/internal/hw"
+	"harvest/internal/models"
+)
+
+func main() {
+	log.SetFlags(0)
+	sloMs := flag.Float64("slo-ms", hw.QPS60LatencyMs, "per-batch latency SLO in milliseconds")
+	flag.Parse()
+
+	fmt.Printf("latency SLO: %.1f ms per batch (60 QPS default, the paper's Fig. 6 red line)\n\n", *sloMs)
+	for _, p := range hw.FigureOrder() {
+		fmt.Printf("--- %s ---\n", p.FullName)
+		type choice struct {
+			model string
+			batch int
+			thr   float64
+			mfu   float64
+		}
+		var best *choice
+		for _, name := range models.Names() {
+			eng, err := engine.New(p, name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var c *choice
+			for _, b := range hw.BatchSweep(p.Name) {
+				st, err := eng.Infer(b)
+				if errors.Is(err, engine.ErrOOM) {
+					break
+				} else if err != nil {
+					log.Fatal(err)
+				}
+				if st.Seconds*1000 > *sloMs {
+					break
+				}
+				c = &choice{model: name, batch: b, thr: st.ImgPerSec, mfu: st.MFU}
+			}
+			if c == nil {
+				fmt.Printf("  %-10s no batch size meets the SLO\n", name)
+				continue
+			}
+			fmt.Printf("  %-10s best batch %4d -> %9.1f img/s (MFU %4.1f%%)\n",
+				c.model, c.batch, c.thr, c.mfu*100)
+			if best == nil || c.thr > best.thr {
+				best = c
+			}
+		}
+		if best != nil {
+			fmt.Printf("  => recommend %s @ BS%d: %.1f img/s under the SLO\n\n",
+				best.model, best.batch, best.thr)
+		} else {
+			fmt.Printf("  => no configuration meets the SLO on this platform\n\n")
+		}
+	}
+	fmt.Println("note: accuracy is task-specific — the paper's guidance is to pick the")
+	fmt.Println("smallest model meeting accuracy needs, then use this sweep to set batch size.")
+}

@@ -1,0 +1,134 @@
+// Package core is the top-level HARVEST-Go API: it ties the substrates
+// together into the two things a user does with this repository —
+// *characterize* (regenerate the paper's evaluation artifacts and check
+// them against the published anchors) and *deploy* (stand up an
+// inference server for a platform/model set).
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"harvest/internal/engine"
+	"harvest/internal/experiments"
+	"harvest/internal/hw"
+	"harvest/internal/models"
+	"harvest/internal/serve"
+)
+
+// Report is the outcome of a characterization run.
+type Report struct {
+	Artifacts []*experiments.Artifact
+	Anchors   []experiments.Anchor
+}
+
+// Characterize regenerates the requested artifacts (nil ids = the
+// paper's eight) and recomputes every paper anchor.
+func Characterize(opts experiments.Options, ids []string) (*Report, error) {
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	r := &Report{}
+	for _, id := range ids {
+		a, err := experiments.RunAny(id, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: artifact %s: %w", id, err)
+		}
+		r.Artifacts = append(r.Artifacts, a)
+	}
+	anchors, err := experiments.CompareAnchors()
+	if err != nil {
+		return nil, err
+	}
+	r.Anchors = anchors
+	return r, nil
+}
+
+// WorstAnchorError returns the largest relative error across anchors
+// whose tolerance is proportional (OOM-boundary anchors are exact and
+// reported separately by ExactAnchorsHold).
+func (r *Report) WorstAnchorError() float64 {
+	worst := 0.0
+	for _, an := range r.Anchors {
+		if re := an.RelErr(); re > worst {
+			worst = re
+		}
+	}
+	return worst
+}
+
+// WriteTo renders every artifact and the anchor comparison.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, a := range r.Artifacts {
+		n, err := io.WriteString(w, a.Render()+"\n")
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	n, err := io.WriteString(w, "=== paper anchors ===\n")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, an := range r.Anchors {
+		n, err := fmt.Fprintln(w, an)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// DeploymentConfig describes a serving deployment.
+type DeploymentConfig struct {
+	// Platform is a hw platform key ("A100", "V100", "Jetson").
+	Platform string
+	// Models lists Table 3 model names; empty means all four.
+	Models []string
+	// QueueDelay is the dynamic batching window (default 2ms).
+	QueueDelay time.Duration
+	// Instances per model (default 1).
+	Instances int
+	// TimeScale: fraction of modeled latency instances really sleep.
+	TimeScale float64
+}
+
+// NewDeployment builds a running inference server hosting the
+// configured models on the platform's calibrated engines. The caller
+// owns the returned server and must Close it.
+func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
+	p, err := hw.ByName(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	names := cfg.Models
+	if len(names) == 0 {
+		names = models.Names()
+	}
+	if cfg.QueueDelay == 0 {
+		cfg.QueueDelay = 2 * time.Millisecond
+	}
+	srv := serve.NewServer()
+	for _, name := range names {
+		eng, err := engine.New(p, name)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		if err := srv.Register(serve.ModelConfig{
+			Name:       name,
+			Engine:     eng,
+			QueueDelay: cfg.QueueDelay,
+			Instances:  cfg.Instances,
+			TimeScale:  cfg.TimeScale,
+		}); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	return srv, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"harvest/internal/experiments"
+	"harvest/internal/serve"
+)
+
+func TestCharacterizeSubset(t *testing.T) {
+	r, err := Characterize(experiments.Options{Quick: true, Seed: 1}, []string{"table1", "table3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Artifacts) != 2 {
+		t.Fatalf("artifacts %d", len(r.Artifacts))
+	}
+	if len(r.Anchors) < 40 {
+		t.Fatalf("anchors %d", len(r.Anchors))
+	}
+	if worst := r.WorstAnchorError(); worst > 0.05 {
+		t.Errorf("worst anchor error %.3f exceeds 5%%", worst)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table1", "table3", "paper anchors", "Fig5/A100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestCharacterizeUnknownArtifact(t *testing.T) {
+	if _, err := Characterize(experiments.Options{Quick: true}, []string{"fig99"}); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestNewDeployment(t *testing.T) {
+	srv, err := NewDeployment(DeploymentConfig{Platform: "A100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	names := srv.Models()
+	if len(names) != 4 {
+		t.Fatalf("deployed %d models, want 4", len(names))
+	}
+	resp, err := srv.Submit(context.Background(), &serve.Request{Model: "ViT_Small", Items: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Items != 4 || resp.ComputeSeconds <= 0 {
+		t.Errorf("response %+v", resp)
+	}
+}
+
+func TestNewDeploymentErrors(t *testing.T) {
+	if _, err := NewDeployment(DeploymentConfig{Platform: "H100"}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := NewDeployment(DeploymentConfig{Platform: "A100", Models: []string{"ghost"}}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestNewDeploymentSubsetJetson(t *testing.T) {
+	srv, err := NewDeployment(DeploymentConfig{
+		Platform: "Jetson", Models: []string{"ViT_Tiny"}, Instances: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cfg, err := srv.ModelConfigFor("ViT_Tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Instances != 2 {
+		t.Errorf("instances %d", cfg.Instances)
+	}
+	// Jetson ViT_Tiny engine max batch is 196.
+	if cfg.MaxBatch != 196 {
+		t.Errorf("derived max batch %d, want 196", cfg.MaxBatch)
+	}
+}

@@ -1,0 +1,114 @@
+package datasets
+
+import (
+	"fmt"
+
+	"harvest/internal/imaging"
+)
+
+// Dataset slugs, usable with ByName and the CLI tools.
+const (
+	SlugPlantVillage = "plant-village"
+	SlugWeedSoybean  = "weed-soybean"
+	SlugSpittleBug   = "spittle-bug"
+	SlugFruits360    = "fruits-360"
+	SlugCornGrowth   = "corn-growth"
+	SlugCRSA         = "crsa"
+)
+
+// All returns the six dataset specs of Table 2, in the paper's order.
+func All() []Spec {
+	return []Spec{
+		{
+			Name:    "Plant Village",
+			Slug:    SlugPlantVillage,
+			Classes: 39,
+			Samples: 43430,
+			Sizes:   FixedSize{W: 256, H: 256},
+			Format:  imaging.FormatJPEG,
+			Texture: imaging.KindLeaf,
+			UseCase: "Plant disease classification",
+			Task:    TaskNone,
+		},
+		{
+			Name:    "Weed Detection in Soybean",
+			Slug:    SlugWeedSoybean,
+			Classes: 4,
+			Samples: 10635,
+			// Fig. 4a: broad spread with mode 233x233 (TIFF crops of
+			// varying size). PPM stands in for TIFF's raw decode path.
+			Sizes:   SpreadSize{ModeW: 233, ModeH: 233, ModeFrac: 0.35, Sigma: 70, Min: 40, Max: 400},
+			Format:  imaging.FormatPPM,
+			Texture: imaging.KindRows,
+			UseCase: "Weed detection in soybeans",
+			Task:    TaskNone,
+		},
+		{
+			Name:    "Sugar Cane-Spittle Bug",
+			Slug:    SlugSpittleBug,
+			Classes: 2,
+			Samples: 10100,
+			// Fig. 4b: small crops, mode 61x61, spread up to ~400.
+			Sizes:   SpreadSize{ModeW: 61, ModeH: 61, ModeFrac: 0.45, Sigma: 55, Min: 24, Max: 400},
+			Format:  imaging.FormatJPEG,
+			Texture: imaging.KindLeaf,
+			UseCase: "Pest bugs detection",
+			Task:    TaskNone,
+		},
+		{
+			Name:    "Fruits-360",
+			Slug:    SlugFruits360,
+			Classes: 81,
+			Samples: 40998,
+			Sizes:   FixedSize{W: 100, H: 100},
+			Format:  imaging.FormatJPEG,
+			Texture: imaging.KindFruit,
+			UseCase: "Fruits classification",
+			Task:    TaskNone,
+		},
+		{
+			Name:    "Corn Growth Stage",
+			Slug:    SlugCornGrowth,
+			Classes: 23,
+			Samples: 52198,
+			Sizes:   FixedSize{W: 224, H: 224},
+			Format:  imaging.FormatJPEG,
+			Texture: imaging.KindRows,
+			UseCase: "Corn Growth Stage Classification, UAS Based",
+			Task:    TaskTiling,
+		},
+		{
+			Name:    "CRSA",
+			Slug:    SlugCRSA,
+			Classes: 0,
+			Samples: 992,
+			Sizes:   FixedSize{W: 3840, H: 2160},
+			Format:  imaging.FormatPPM,
+			Texture: imaging.KindSoil,
+			UseCase: "Crop Residue Soil Aggregate, Ground Vehicle based",
+			Task:    TaskPerspective,
+		},
+	}
+}
+
+// ByName returns the spec whose Slug or Name matches name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Slug == name || s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// EvalSet returns the five classification datasets used in the Fig. 8
+// end-to-end evaluation (CRSA is excluded there, as in the paper).
+func EvalSet() []Spec {
+	out := make([]Spec, 0, 5)
+	for _, s := range All() {
+		if s.Slug != SlugCRSA {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package datasets provides synthetic stand-ins for the six agricultural
+// datasets of the paper's Table 2. Each dataset reproduces the published
+// class count, sample count, image-size distribution (Fig. 4), storage
+// format family and task-specific preprocessing requirements, with fully
+// deterministic content so experiments are reproducible.
+package datasets
+
+import (
+	"harvest/internal/stats"
+)
+
+// SizeDistribution samples (width, height) pairs for a dataset.
+type SizeDistribution interface {
+	// Sample draws one image size.
+	Sample(r *stats.RNG) (w, h int)
+	// Modal returns the most common size, the value Fig. 4 labels.
+	Modal() (w, h int)
+}
+
+// FixedSize is a dataset whose images all share one size (e.g. Plant
+// Village 256x256, Fruits-360 100x100, Corn Growth Stage 224x224,
+// CRSA 3840x2160).
+type FixedSize struct{ W, H int }
+
+// Sample returns the fixed size.
+func (f FixedSize) Sample(*stats.RNG) (int, int) { return f.W, f.H }
+
+// Modal returns the fixed size.
+func (f FixedSize) Modal() (int, int) { return f.W, f.H }
+
+// SpreadSize models datasets with a dominant square mode plus a broad
+// spread (Fig. 4a/4b): with probability ModeFrac the modal size is
+// returned; otherwise width and height are drawn from a truncated
+// normal around the mode with independent jitter, clamped to
+// [Min, Max].
+type SpreadSize struct {
+	ModeW, ModeH int
+	ModeFrac     float64 // fraction of samples exactly at the mode
+	Sigma        float64 // pixel std-dev of the spread
+	Min, Max     int
+}
+
+// Sample draws a size.
+func (s SpreadSize) Sample(r *stats.RNG) (int, int) {
+	if r.Float64() < s.ModeFrac {
+		return s.ModeW, s.ModeH
+	}
+	tw := stats.TruncNormal{Mu: float64(s.ModeW), Sigma: s.Sigma,
+		Lo: float64(s.Min), Hi: float64(s.Max)}
+	th := stats.TruncNormal{Mu: float64(s.ModeH), Sigma: s.Sigma,
+		Lo: float64(s.Min), Hi: float64(s.Max)}
+	return int(tw.Sample(r) + 0.5), int(th.Sample(r) + 0.5)
+}
+
+// Modal returns the mode.
+func (s SpreadSize) Modal() (int, int) { return s.ModeW, s.ModeH }
+
+// SizeSample is one observed (width, height) pair.
+type SizeSample struct{ W, H int }
+
+// SampleSizes draws n sizes from a distribution, used to regenerate the
+// Fig. 4 density plots.
+func SampleSizes(d SizeDistribution, n int, seed uint64) []SizeSample {
+	r := stats.NewRNG(seed)
+	out := make([]SizeSample, n)
+	for i := range out {
+		w, h := d.Sample(r)
+		out[i] = SizeSample{W: w, H: h}
+	}
+	return out
+}
+
+// SizeDensity builds the 2-D width x height density of Fig. 4 from
+// samples, with the given bin count per axis over [0, maxDim).
+func SizeDensity(samples []SizeSample, maxDim, bins int) *stats.Hist2D {
+	h := stats.NewHist2D(0, float64(maxDim), bins, 0, float64(maxDim), bins)
+	for _, s := range samples {
+		h.Add(float64(s.W), float64(s.H))
+	}
+	return h
+}

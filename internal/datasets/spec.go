@@ -1,0 +1,84 @@
+package datasets
+
+import (
+	"fmt"
+
+	"harvest/internal/imaging"
+)
+
+// TaskPreproc identifies dataset-specific preprocessing the pipeline
+// must run before model-specific preprocessing (paper §3.2).
+type TaskPreproc int
+
+// Task-specific preprocessing kinds.
+const (
+	// TaskNone: the dataset needs only model preprocessing.
+	TaskNone TaskPreproc = iota
+	// TaskPerspective: raw camera frames need a perspective transform
+	// (CRSA ground-vehicle feed).
+	TaskPerspective
+	// TaskTiling: stitched orthomosaics are tiled before inference
+	// (UAS workflows; handled by internal/stitch in the offline path).
+	TaskTiling
+)
+
+// String names the preprocessing kind.
+func (t TaskPreproc) String() string {
+	switch t {
+	case TaskNone:
+		return "none"
+	case TaskPerspective:
+		return "perspective"
+	case TaskTiling:
+		return "tiling"
+	}
+	return fmt.Sprintf("TaskPreproc(%d)", int(t))
+}
+
+// Spec describes one dataset exactly as Table 2 of the paper does.
+type Spec struct {
+	Name    string
+	Slug    string // short identifier for CLI flags and file names
+	Classes int    // 0 for CRSA, which has no classification labels
+	Samples int
+	Sizes   SizeDistribution
+	Format  imaging.Format
+	Texture imaging.SyntheticKind
+	UseCase string
+	Task    TaskPreproc
+}
+
+// Validate sanity-checks a spec.
+func (s Spec) Validate() error {
+	if s.Name == "" || s.Slug == "" {
+		return fmt.Errorf("datasets: spec missing name/slug")
+	}
+	if s.Samples <= 0 {
+		return fmt.Errorf("datasets: %s has non-positive sample count", s.Name)
+	}
+	if s.Classes < 0 {
+		return fmt.Errorf("datasets: %s has negative class count", s.Name)
+	}
+	if s.Sizes == nil {
+		return fmt.Errorf("datasets: %s has no size distribution", s.Name)
+	}
+	w, h := s.Sizes.Modal()
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("datasets: %s modal size %dx%d invalid", s.Name, w, h)
+	}
+	return nil
+}
+
+// ModalSize returns the Fig. 4 modal label of the dataset.
+func (s Spec) ModalSize() (int, int) { return s.Sizes.Modal() }
+
+// MeanPixels estimates the mean pixel count per image by sampling; used
+// by cost models.
+func (s Spec) MeanPixels(n int, seed uint64) float64 {
+	samples := SampleSizes(s.Sizes, n, seed)
+	total := 0.0
+	for _, sz := range samples {
+		total += float64(sz.W * sz.H)
+	}
+	return total / float64(len(samples))
+}

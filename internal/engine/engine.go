@@ -1,0 +1,160 @@
+// Package engine implements the model inference engine of the HARVEST
+// backend: the component that executes one model on one platform at a
+// chosen batch size (the TensorRT engine analogue). Performance comes
+// from the calibrated internal/hw models; functional execution can be
+// delegated to a real compute backend over internal/tensor.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"harvest/internal/hw"
+	"harvest/internal/models"
+	"harvest/internal/quant"
+	"harvest/internal/tensor"
+)
+
+// ErrOOM is returned when a batch does not fit in device memory,
+// mirroring the out-of-memory boundaries of the paper's Fig. 5/6/8.
+var ErrOOM = errors.New("engine: out of device memory")
+
+// InferStats describes one executed batch.
+type InferStats struct {
+	Batch     int
+	Seconds   float64
+	ImgPerSec float64
+	MFU       float64
+	TFLOPS    float64
+}
+
+// Forwarder executes a real forward pass; *models.ViTModel and
+// *models.ResNetModel both satisfy it.
+type Forwarder interface {
+	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Engine hosts one model instance on one platform.
+type Engine struct {
+	Entry    models.Entry
+	Platform *hw.Platform
+	Perf     *hw.PerfModel
+	// Pipeline marks the engine as co-located with GPU preprocessing
+	// (the Fig. 8 end-to-end memory configuration).
+	Pipeline bool
+	// Real, when set, is invoked by InferTensors for actual compute.
+	Real Forwarder
+}
+
+// New creates an engine for the named Table 3 model on the platform,
+// with weights held at the platform's inference precision.
+func New(p *hw.Platform, modelName string) (*Engine, error) {
+	entry, err := models.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	bytesPer, err := quant.BytesPerValue(string(p.Precision))
+	if err != nil {
+		return nil, err
+	}
+	perf, err := hw.NewPerfModel(p, modelName,
+		float64(entry.Spec.ParamMACs()), entry.Spec.WeightBytes(bytesPer))
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{Entry: entry, Platform: p, Perf: perf}, nil
+}
+
+// Infer models execution of one batch, returning its latency and
+// utilization, or ErrOOM if the batch does not fit.
+func (e *Engine) Infer(batch int) (InferStats, error) {
+	if batch <= 0 {
+		return InferStats{}, fmt.Errorf("engine: non-positive batch %d", batch)
+	}
+	if !e.Perf.FitsMemory(batch, e.Pipeline) {
+		return InferStats{}, fmt.Errorf("%w: %s batch %d needs %d MiB, %d MiB available",
+			ErrOOM, e.Entry.Spec.Name, batch,
+			e.Perf.MemoryBytes(batch, e.Pipeline)>>20, e.availBytes()>>20)
+	}
+	sec := e.Perf.LatencySeconds(batch)
+	return InferStats{
+		Batch:     batch,
+		Seconds:   sec,
+		ImgPerSec: float64(batch) / sec,
+		MFU:       e.Perf.MFU(batch),
+		TFLOPS:    e.Perf.AchievedTFLOPS(batch),
+	}, nil
+}
+
+func (e *Engine) availBytes() int64 {
+	if e.Pipeline {
+		return e.Platform.PipelineMemBytes()
+	}
+	return e.Platform.EngineMemBytes()
+}
+
+// MaxBatch returns the largest batch of the platform's figure sweep
+// that fits, optionally capped (the Fig. 8 harness caps at 64).
+func (e *Engine) MaxBatch(cap int) int {
+	return e.Perf.MaxBatch(hw.BatchSweep(e.Platform.Name), e.Pipeline, cap)
+}
+
+// InferTensors runs a real forward pass through the attached Real
+// backend over a batch of flattened CHW inputs, returning per-image
+// logits. The modeled InferStats for the same batch size accompany the
+// outputs so callers get both function and (modeled) performance.
+func (e *Engine) InferTensors(inputs [][]float32, inputSize int) ([][]float32, InferStats, error) {
+	if e.Real == nil {
+		return nil, InferStats{}, fmt.Errorf("engine: no real backend attached to %s", e.Entry.Spec.Name)
+	}
+	if len(inputs) == 0 {
+		return nil, InferStats{}, fmt.Errorf("engine: empty input batch")
+	}
+	stats, err := e.Infer(len(inputs))
+	if err != nil {
+		return nil, InferStats{}, err
+	}
+	want := 3 * inputSize * inputSize
+	x := tensor.New(len(inputs), 3, inputSize, inputSize)
+	for i, in := range inputs {
+		if len(in) != want {
+			return nil, InferStats{}, fmt.Errorf("engine: input %d has %d values, want %d", i, len(in), want)
+		}
+		copy(x.Data[i*want:(i+1)*want], in)
+	}
+	logits, err := e.Real.Forward(x)
+	if err != nil {
+		return nil, InferStats{}, err
+	}
+	n := logits.Shape[1]
+	out := make([][]float32, len(inputs))
+	for i := range out {
+		out[i] = append([]float32(nil), logits.Data[i*n:(i+1)*n]...)
+	}
+	return out, stats, nil
+}
+
+// SweepResult is one point of a batch-size sweep.
+type SweepResult struct {
+	Batch int
+	InferStats
+	OOM bool
+}
+
+// Sweep evaluates the engine across the platform's figure batch axis,
+// marking out-of-memory points, producing the data behind Fig. 5/6.
+func (e *Engine) Sweep() []SweepResult {
+	var out []SweepResult
+	for _, b := range hw.BatchSweep(e.Platform.Name) {
+		st, err := e.Infer(b)
+		if err != nil {
+			if errors.Is(err, ErrOOM) {
+				out = append(out, SweepResult{Batch: b, OOM: true})
+				continue
+			}
+			continue
+		}
+		out = append(out, SweepResult{Batch: b, InferStats: st})
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"harvest/internal/datasets"
+	"harvest/internal/hw"
+	"harvest/internal/metrics"
+	"harvest/internal/models"
+	"harvest/internal/pipeline"
+	"harvest/internal/scaleout"
+)
+
+// Ablations regenerates the DESIGN.md §5 design-choice studies as
+// deterministic tables: preprocessing/inference overlap, serving batch
+// size under load, multi-instance replication, and preprocessing
+// placement. (The wall-clock counterparts live in bench_test.go.)
+func Ablations(opts Options) (*Artifact, error) {
+	a := &Artifact{ID: "ablations", Title: "Design-Choice Ablations (DESIGN.md §5)"}
+	horizon := 10.0
+	if opts.Quick {
+		horizon = 3
+	}
+	spec, err := datasets.ByName(datasets.SlugCornGrowth)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Overlap on/off across platforms (the Fig. 8 mechanism).
+	ov := metrics.NewTable("Preprocessing/inference overlap (ViT_Base, Corn Growth Stage)",
+		"Platform", "Batch", "Sequential img/s", "Overlapped img/s", "Speedup")
+	for _, p := range hw.FigureOrder() {
+		cfg := pipeline.Config{Platform: p, Model: models.NameViTBase, Dataset: spec, Batches: 16}
+		seq, err := pipeline.Sequential(cfg)
+		if err != nil {
+			return nil, err
+		}
+		over, err := pipeline.Overlapped(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ov.AddRow(p.Name, over.Batch, seq.Throughput, over.Throughput,
+			over.Throughput/seq.Throughput)
+	}
+	a.Tables = append(a.Tables, ov)
+
+	// 2. Serving batch size under fixed offered load: latency cost of
+	//    larger batches vs their throughput headroom.
+	bt := metrics.NewTable("Batch size under 1000 img/s offered load (A100, ViT_Small, online)",
+		"Batch", "Goodput img/s", "Mean lat(ms)", "P99 lat(ms)", "SLO miss %")
+	for _, batch := range []int{4, 16, 64} {
+		res, err := pipeline.RunOnline(pipeline.OnlineConfig{
+			Platform: hw.A100(), Model: models.NameViTSmall,
+			Batch: batch, RatePerSec: 1000 / float64(batch),
+			HorizonSeconds: horizon, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bt.AddRow(batch, res.Goodput, res.MeanMs, res.P99Ms, res.SLOMissRate*100)
+	}
+	a.Tables = append(a.Tables, bt)
+
+	// 3. Multi-instance replication at fixed per-replica load.
+	mi := metrics.NewTable("Instance replication (V100, ViT_Base @BS64, 80% per-replica load)",
+		"Replicas", "Offered img/s", "Throughput img/s", "Mean lat(ms)", "P99 lat(ms)")
+	for _, replicas := range []int{1, 2, 4} {
+		res, err := scaleout.Run(scaleout.Config{
+			Platform: hw.V100(), Model: models.NameViTBase,
+			Replicas: replicas, Batch: 64,
+			OfferedBatchesPerSec: 0.8 * float64(replicas) / 0.0432, // ~80% of capacity each
+			HorizonSeconds:       horizon, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mi.AddRow(res.Replicas, res.OfferedImgPerSec, res.Throughput,
+			res.MeanLatencySeconds*1000, res.P99LatencySeconds*1000)
+	}
+	a.Tables = append(a.Tables, mi)
+
+	// 4. Preprocessing placement: GPU vs CPU feeding the same engine.
+	pp := metrics.NewTable("Preprocessing placement (ResNet50, Plant Village, overlapped)",
+		"Platform", "Placement", "Batch", "Throughput img/s", "Bottleneck")
+	for _, p := range hw.FigureOrder() {
+		for _, cpu := range []bool{false, true} {
+			cfg := pipeline.Config{
+				Platform: p, Model: models.NameResNet50,
+				Dataset: mustSpec(datasets.SlugPlantVillage),
+				Batches: 12, Overlap: true,
+			}
+			placement := "GPU (DALI)"
+			if cpu {
+				cfg.CPUPreproc = true
+				// Single-thread host cost of the PyTorch path on this
+				// dataset (measured magnitude; fixed for determinism).
+				cfg.HostCPUSecondsPerImage = 0.0035
+				placement = "CPU (1 thread)"
+			}
+			res, err := pipeline.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pp.AddRow(p.Name, placement, res.Batch, res.Throughput, res.Bottleneck)
+		}
+	}
+	a.Tables = append(a.Tables, pp)
+
+	a.AddNote("overlap pays most where preprocessing and inference costs are comparable")
+	a.AddNote("replication keeps P99 flat while scaling offered load — §5's multi-instance guidance")
+	a.AddNote("CPU preprocessing caps every platform at the single thread's rate: the paper's §4.2 bottleneck")
+	return a, nil
+}
+
+func mustSpec(slug string) datasets.Spec {
+	s, err := datasets.ByName(slug)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

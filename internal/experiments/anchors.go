@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"harvest/internal/engine"
+	"harvest/internal/hw"
+	"harvest/internal/models"
+)
+
+// Anchor is one published number from the paper with the value this
+// repository reproduces.
+type Anchor struct {
+	Source   string // e.g. "Fig5/A100"
+	Quantity string
+	Paper    float64
+	Measured float64
+}
+
+// RelErr returns |measured-paper|/paper.
+func (an Anchor) RelErr() float64 {
+	if an.Paper == 0 {
+		return math.Abs(an.Measured)
+	}
+	return math.Abs(an.Measured-an.Paper) / math.Abs(an.Paper)
+}
+
+// String renders the anchor comparison.
+func (an Anchor) String() string {
+	return fmt.Sprintf("%-12s %-42s paper=%12.2f ours=%12.2f err=%5.1f%%",
+		an.Source, an.Quantity, an.Paper, an.Measured, an.RelErr()*100)
+}
+
+// fig5Anchors are the legend labels of Fig. 5 (throughput at the best
+// published batch size per platform/model).
+var fig5Anchors = []struct {
+	Platform, Model string
+	Batch           int
+	ImgPerSec       float64
+}{
+	{hw.KeyA100, models.NameViTTiny, 1024, 22879.3},
+	{hw.KeyA100, models.NameViTSmall, 1024, 9344.2},
+	{hw.KeyA100, models.NameViTBase, 1024, 4095.9},
+	{hw.KeyA100, models.NameResNet50, 1024, 16230.7},
+	{hw.KeyV100, models.NameViTTiny, 1024, 7179.0},
+	{hw.KeyV100, models.NameViTSmall, 1024, 2929.3},
+	{hw.KeyV100, models.NameViTBase, 1024, 1482.6},
+	{hw.KeyV100, models.NameResNet50, 1024, 8107.3},
+	{hw.KeyJetson, models.NameViTTiny, 196, 1170.1},
+	{hw.KeyJetson, models.NameViTSmall, 64, 469.4},
+	{hw.KeyJetson, models.NameViTBase, 8, 201.0},
+	{hw.KeyJetson, models.NameResNet50, 64, 842.9},
+}
+
+// table3UpperBounds are Table 3's published throughput upper bounds
+// (images/second).
+var table3UpperBounds = []struct {
+	Platform, Model string
+	ImgPerSec       float64
+}{
+	{hw.KeyA100, models.NameViTTiny, 172508},
+	{hw.KeyA100, models.NameViTSmall, 43214},
+	{hw.KeyA100, models.NameViTBase, 14013},
+	{hw.KeyA100, models.NameResNet50, 57775},
+	{hw.KeyV100, models.NameViTTiny, 67602},
+	{hw.KeyV100, models.NameViTSmall, 16935},
+	{hw.KeyV100, models.NameViTBase, 5491},
+	{hw.KeyV100, models.NameResNet50, 22641},
+	{hw.KeyJetson, models.NameViTTiny, 8322},
+	{hw.KeyJetson, models.NameViTSmall, 2085},
+	{hw.KeyJetson, models.NameViTBase, 676},
+	{hw.KeyJetson, models.NameResNet50, 2787},
+}
+
+// e2eMaxBatches are the Fig. 8 per-platform largest-batch-before-OOM
+// labels.
+var e2eMaxBatches = []struct {
+	Platform, Model string
+	Batch           int
+}{
+	{hw.KeyA100, models.NameViTTiny, 64},
+	{hw.KeyA100, models.NameViTSmall, 64},
+	{hw.KeyA100, models.NameViTBase, 64},
+	{hw.KeyA100, models.NameResNet50, 64},
+	{hw.KeyV100, models.NameViTTiny, 64},
+	{hw.KeyV100, models.NameViTSmall, 32},
+	{hw.KeyV100, models.NameViTBase, 2},
+	{hw.KeyV100, models.NameResNet50, 32},
+	{hw.KeyJetson, models.NameViTTiny, 64},
+	{hw.KeyJetson, models.NameViTSmall, 32},
+	{hw.KeyJetson, models.NameViTBase, 2},
+	{hw.KeyJetson, models.NameResNet50, 32},
+}
+
+// CompareAnchors recomputes every published anchor with this
+// repository's models and returns the comparisons. Tests assert the
+// relative errors; EXPERIMENTS.md records them.
+func CompareAnchors() ([]Anchor, error) {
+	var out []Anchor
+
+	// Table 1: practical TFLOPS.
+	paperPractical := map[string]float64{hw.KeyV100: 92.6, hw.KeyA100: 236.3, hw.KeyJetson: 11.4}
+	for _, p := range hw.All() {
+		out = append(out, Anchor{
+			Source:   "Table1",
+			Quantity: p.Name + " practical TFLOPS",
+			Paper:    paperPractical[p.Name],
+			Measured: hw.PracticalTFLOPSMeasured(p),
+		})
+	}
+
+	// Table 3: GFLOPs/image and parameters.
+	for _, e := range models.MustTable3() {
+		out = append(out,
+			Anchor{Source: "Table3", Quantity: e.Spec.Name + " GFLOPs/image",
+				Paper: e.PaperGFLOPs, Measured: e.Spec.GFLOPsPerImage()},
+			Anchor{Source: "Table3", Quantity: e.Spec.Name + " params (M)",
+				Paper: e.PaperParamsM, Measured: float64(e.Spec.Params()) / 1e6})
+	}
+
+	// Table 3: throughput upper bounds.
+	for _, ub := range table3UpperBounds {
+		p, err := hw.ByName(ub.Platform)
+		if err != nil {
+			return nil, err
+		}
+		e, err := models.ByName(ub.Model)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Anchor{
+			Source:   "Table3",
+			Quantity: fmt.Sprintf("%s %s UB (img/s)", ub.Platform, ub.Model),
+			Paper:    ub.ImgPerSec,
+			Measured: p.PracticalTFLOPS * 1e12 / float64(e.Spec.ParamMACs()),
+		})
+	}
+
+	// §4.0.2: compute breakdowns.
+	vt, err := models.ByName(models.NameViTTiny)
+	if err != nil {
+		return nil, err
+	}
+	mlp, attn := vt.Spec.MLPAttentionShares()
+	out = append(out,
+		Anchor{Source: "Sec4.0.2", Quantity: "ViT_Tiny MLP share (%)", Paper: 81.73, Measured: mlp * 100},
+		Anchor{Source: "Sec4.0.2", Quantity: "ViT_Tiny attention share (%)", Paper: 18.23, Measured: attn * 100})
+	rn, err := models.ByName(models.NameResNet50)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, Anchor{Source: "Sec4.0.2", Quantity: "ResNet50 conv share (%)",
+		Paper: 99.5, Measured: rn.Spec.BreakdownByKind()[models.KindConv] * 100})
+
+	// Fig. 5 legend anchors.
+	for _, an := range fig5Anchors {
+		p, err := hw.ByName(an.Platform)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.New(p, an.Model)
+		if err != nil {
+			return nil, err
+		}
+		st, err := eng.Infer(an.Batch)
+		if err != nil {
+			return nil, fmt.Errorf("anchor %s/%s@%d: %w", an.Platform, an.Model, an.Batch, err)
+		}
+		out = append(out, Anchor{
+			Source:   "Fig5/" + an.Platform,
+			Quantity: fmt.Sprintf("%s img/s @BS%d", an.Model, an.Batch),
+			Paper:    an.ImgPerSec,
+			Measured: st.ImgPerSec,
+		})
+	}
+
+	// Fig. 8 OOM boundaries.
+	for _, mb := range e2eMaxBatches {
+		p, err := hw.ByName(mb.Platform)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.New(p, mb.Model)
+		if err != nil {
+			return nil, err
+		}
+		eng.Pipeline = true
+		out = append(out, Anchor{
+			Source:   "Fig8/" + mb.Platform,
+			Quantity: mb.Model + " max batch before OOM",
+			Paper:    float64(mb.Batch),
+			Measured: float64(eng.MaxBatch(hw.EndToEndMaxBatch)),
+		})
+	}
+	return out, nil
+}

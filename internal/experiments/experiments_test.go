@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Seed: 42}
+}
+
+func TestAllArtifactsRun(t *testing.T) {
+	for _, id := range IDs() {
+		a, err := Run(id, quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.ID != id {
+			t.Errorf("artifact id %q, want %q", a.ID, id)
+		}
+		out := a.Render()
+		if len(out) < 100 {
+			t.Errorf("%s rendered only %d bytes", id, len(out))
+		}
+		if !strings.Contains(out, a.Title) {
+			t.Errorf("%s render missing title", id)
+		}
+	}
+	if _, err := Run("fig99", quickOpts()); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	a, err := Table1(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	for _, want := range []string{"V100", "A100", "Jetson", "92.60", "236.30", "11.40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+	if a.Tables[0].NumRows() != 3 {
+		t.Errorf("table1 has %d rows", a.Tables[0].NumRows())
+	}
+}
+
+func TestTable1HostGEMM(t *testing.T) {
+	a, err := Table1(Options{Quick: true, HostGEMM: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Render(), "real host GEMM") {
+		t.Error("host GEMM note missing")
+	}
+}
+
+func TestTable2Content(t *testing.T) {
+	a, err := Table2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	for _, want := range []string{"Plant Village", "43430", "CRSA", "3840x2160", "perspective", "61x61"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+	if a.Tables[0].NumRows() != 6 {
+		t.Errorf("table2 has %d rows, want 6", a.Tables[0].NumRows())
+	}
+}
+
+func TestTable3Content(t *testing.T) {
+	a, err := Table3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	for _, want := range []string{"ViT_Tiny", "ResNet50", "Transformer Based", "CNN Based", "MLP", "convolutions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 missing %q", want)
+		}
+	}
+}
+
+func TestFig4ModalAnchors(t *testing.T) {
+	a, err := Fig4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	// The two labeled modes of the paper's Fig. 4 panels.
+	for _, want := range []string{"233x233", "61x61", "256x256", "100x100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 missing modal size %q", want)
+		}
+	}
+}
+
+func TestFig5LegendAnchors(t *testing.T) {
+	a, err := Fig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	// The best-throughput legend entries must reproduce the paper's.
+	for _, want := range []string{
+		"A100 ViT_Tiny: 22879.3 img/s @ BS1024",
+		"V100 ResNet50: 8107.3 img/s @ BS1024",
+		"Jetson ViT_Base: 201.0 img/s @ BS8",
+		"Jetson ViT_Tiny: 1170.1 img/s @ BS196",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 missing legend anchor %q\n%s", want, out[:min(len(out), 2000)])
+		}
+	}
+	if len(a.Figures) != 3 {
+		t.Errorf("fig5 has %d sub-figures, want 3", len(a.Figures))
+	}
+}
+
+func TestFig6ThresholdFindings(t *testing.T) {
+	a, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.Render()
+	if !strings.Contains(out, "largest batch meeting 60 QPS") {
+		t.Error("fig6 missing 60 QPS analysis")
+	}
+	if len(a.Figures) != 3 {
+		t.Errorf("fig6 has %d sub-figures", len(a.Figures))
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	a, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tables) != 6 { // latency + throughput per platform
+		t.Fatalf("fig7 has %d tables, want 6", len(a.Tables))
+	}
+	out := a.Render()
+	for _, want := range []string{"DALI 224@BS64", "DALI 32@BS64", "PyTorch@BS1", "CV2@BS1", "CRSA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 missing %q", want)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	a, err := Fig8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tables) != 3 {
+		t.Fatalf("fig8 has %d tables, want 3", len(a.Tables))
+	}
+	out := a.Render()
+	for _, want := range []string{"ViT_Base", "Plant Village", "Bottleneck", "preprocess", "inference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig8 missing %q", want)
+		}
+	}
+	// 4 models x 5 datasets per platform.
+	for _, tb := range a.Tables {
+		if tb.NumRows() != 20 {
+			t.Errorf("fig8 table %q has %d rows, want 20", tb.Title, tb.NumRows())
+		}
+	}
+}
+
+// TestAnchorsWithinTolerance is the headline reproduction test: every
+// published number this repository claims to reproduce must match
+// within tolerance.
+func TestAnchorsWithinTolerance(t *testing.T) {
+	anchors, err := CompareAnchors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anchors) < 40 {
+		t.Fatalf("only %d anchors compared", len(anchors))
+	}
+	for _, an := range anchors {
+		tol := 0.01
+		switch {
+		case strings.Contains(an.Quantity, "params"):
+			tol = 0.05
+		case strings.Contains(an.Quantity, "max batch"):
+			tol = 0 // OOM boundaries must be exact
+		case strings.Contains(an.Quantity, "share"):
+			tol = 0.01
+		}
+		if an.RelErr() > tol+1e-12 {
+			t.Errorf("anchor out of tolerance: %s", an)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"harvest/internal/engine"
+	"harvest/internal/hw"
+	"harvest/internal/metrics"
+	"harvest/internal/models"
+)
+
+// Fig5 regenerates the paper's Fig. 5: achieved TFLOPS vs batch size
+// for every model on every platform, against the theoretical and
+// practical rooflines, with the "img/s @ best batch" legend anchors.
+func Fig5(opts Options) (*Artifact, error) {
+	a := &Artifact{ID: "fig5", Title: "Scaling Behavior Of Compute Intensity With Varying Batch Sizes"}
+	for _, p := range hw.FigureOrder() {
+		fig := metrics.NewFigure(
+			fmt.Sprintf("(%s) achieved TFLOPS vs batch size [theoretical %.0f, practical %.1f]",
+				p.Name, p.TheoreticalTFLOPS, p.PracticalTFLOPS),
+			"batch", "TFLOPS")
+		for _, name := range models.Names() {
+			eng, err := engine.New(p, name)
+			if err != nil {
+				return nil, err
+			}
+			s := fig.AddSeries(name)
+			var bestBatch int
+			var bestThr float64
+			for _, pt := range eng.Sweep() {
+				if pt.OOM {
+					continue
+				}
+				s.Add(float64(pt.Batch), pt.TFLOPS)
+				if pt.ImgPerSec > bestThr {
+					bestThr, bestBatch = pt.ImgPerSec, pt.Batch
+				}
+			}
+			a.AddNote("%s %s: %.1f img/s @ BS%d (MFU %.1f%%)",
+				p.Name, name, bestThr, bestBatch, eng.Perf.MFU(bestBatch)*100)
+		}
+		a.Figures = append(a.Figures, fig)
+	}
+	a.AddNote("paper legend anchors: A100 ViT_Tiny 22879.3 img/s @BS1024 ... Jetson ViT_Base 201.0 img/s @BS8")
+	_ = opts
+	return a, nil
+}

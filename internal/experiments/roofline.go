@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"harvest/internal/engine"
+	"harvest/internal/hw"
+	"harvest/internal/metrics"
+	"harvest/internal/models"
+	"harvest/internal/quant"
+)
+
+// Roofline quantifies the paper's §5 framing — "a performance roofline
+// constrained by either compute saturation or memory exhaustion" — by
+// computing each model's effective arithmetic intensity per batch size
+// and comparing the attainable (roofline) throughput with the
+// calibrated achieved throughput.
+func Roofline(opts Options) (*Artifact, error) {
+	a := &Artifact{ID: "roofline", Title: "Roofline Analysis: Compute vs Memory Bounds (extension)"}
+	for _, p := range hw.FigureOrder() {
+		t := metrics.NewTable(
+			fmt.Sprintf("(%s) ridge at AI=%.0f FLOPs/byte; peak %.1f TFLOPS, BW %.0f GB/s",
+				p.Name, hw.RidgeAI(p), p.PracticalTFLOPS, p.MemBWBytesPerSec()/1e9),
+			"Model", "Batch", "AI(F/B)", "Attainable TFLOPS", "Achieved TFLOPS", "Bound", "Roofline MFU%")
+		bytesPer, err := quant.BytesPerValue(string(p.Precision))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range models.MustTable3() {
+			s := e.Spec
+			traffic := hw.ModelTraffic{
+				FLOPsPerImage: float64(s.ParamMACs()),
+				WeightBytes:   float64(s.WeightBytes(bytesPer)),
+				// Write + re-read each activation at engine precision.
+				ActBytesPerImg: float64(s.TotalActivationElems()) * float64(bytesPer) * 2,
+			}
+			eng, err := engine.New(p, s.Name)
+			if err != nil {
+				return nil, err
+			}
+			batches := []int{1, 8, 64}
+			if p.Name != hw.KeyJetson {
+				batches = append(batches, 1024)
+			}
+			pts := hw.Roofline(p, traffic, batches)
+			for _, pt := range pts {
+				st, err := eng.Infer(pt.Batch)
+				if err != nil {
+					continue // OOM points drop out
+				}
+				bound := "memory"
+				if pt.ComputeBound {
+					bound = "compute"
+				}
+				t.AddRow(s.Name, pt.Batch, pt.AI, pt.AttainableTFLOPS,
+					st.TFLOPS, bound, st.TFLOPS/pt.AttainableTFLOPS*100)
+			}
+		}
+		a.Tables = append(a.Tables, t)
+	}
+	a.AddNote("batching raises effective AI (weights amortize over the batch): the mechanism behind Fig. 5's MFU growth")
+	a.AddNote("achieved stays below attainable because the roofline ignores launch overhead, dependency stalls and non-GEMM layers — the gap the paper calls 'a substantial gap between MFU and the practical upper bound'")
+	_ = opts
+	return a, nil
+}

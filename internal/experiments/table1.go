@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"harvest/internal/hw"
+	"harvest/internal/metrics"
+)
+
+// Table1 regenerates the paper's Table 1: evaluated cloud and edge
+// platforms with theoretical and GEMM-measured practical TFLOPS.
+func Table1(opts Options) (*Artifact, error) {
+	a := &Artifact{ID: "table1", Title: "Evaluated Cloud and Edge Platforms"}
+	t := metrics.NewTable("",
+		"Platform", "CPU", "GPU", "Memory", "Scenario",
+		"Precision", "Theory TFLOPS", "Practical TFLOPS", "Efficiency %")
+	// Paper column order: Pitzer (V100), MRI (A100), Jetson.
+	for _, p := range hw.All() {
+		t.AddRow(
+			p.FullName,
+			fmt.Sprintf("%d cores", p.CPUCores),
+			p.GPUDesc,
+			fmt.Sprintf("%d GB", p.HostMemBytes>>30),
+			p.Scenarios,
+			string(p.Precision),
+			p.TheoreticalTFLOPS,
+			hw.PracticalTFLOPSMeasured(p),
+			p.FLOPSEfficiency()*100,
+		)
+	}
+	a.Tables = append(a.Tables, t)
+
+	// The GEMM sweep behind the practical numbers.
+	sweep := metrics.NewFigure("GEMM efficiency sweep (fraction of theoretical)", "N", "TFLOPS")
+	for _, p := range hw.All() {
+		s := sweep.AddSeries(p.Name)
+		for _, pt := range hw.GemmSweep(p, []int{256, 512, 1024, 2048, 4096, 8192}) {
+			s.Add(float64(pt.N), pt.TFLOPS)
+		}
+	}
+	a.Figures = append(a.Figures, sweep)
+
+	a.AddNote("cloud V100/A100 efficiencies span %.2f%%-%.2f%% (paper: 75.74%%-82.68%%)",
+		hw.A100().FLOPSEfficiency()*100, hw.V100().FLOPSEfficiency()*100)
+	a.AddNote("V100 and A100 experiments use one of the two available GPUs; Jetson runs in 25W mode with 8GB unified memory")
+	if opts.HostGEMM {
+		n := 512
+		if !opts.Quick {
+			n = 1024
+		}
+		a.AddNote("real host GEMM (float32, N=%d, internal/tensor): %.1f GFLOPS on this machine", n, hw.HostGemmGFLOPS(n))
+	}
+	return a, nil
+}

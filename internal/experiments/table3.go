@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"harvest/internal/hw"
+	"harvest/internal/metrics"
+	"harvest/internal/models"
+)
+
+// Table3 regenerates the paper's Table 3: the evaluated models, their
+// layer-wise computed GFLOPs/image and parameters, and the per-platform
+// throughput upper bounds (practical FLOPS / model FLOPs).
+func Table3(opts Options) (*Artifact, error) {
+	a := &Artifact{ID: "table3", Title: "Model Evaluated and Computational Intensity"}
+	entries, err := models.Table3()
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("",
+		"Model", "Parameters (M)", "Architecture", "GFLOPs/Image", "Input Size",
+		"UB A100 (img/s)", "UB V100 (img/s)", "UB Jetson (img/s)")
+	plats := map[string]*hw.Platform{
+		hw.KeyA100: hw.A100(), hw.KeyV100: hw.V100(), hw.KeyJetson: hw.Jetson(),
+	}
+	ub := func(p *hw.Platform, gflops float64) float64 {
+		return p.PracticalTFLOPS * 1e3 / gflops
+	}
+	for _, e := range entries {
+		s := e.Spec
+		g := s.GFLOPsPerImage()
+		t.AddRow(
+			s.Name,
+			float64(s.Params())/1e6,
+			s.Arch.String(),
+			g,
+			fmt.Sprintf("%dx%d", s.InputSize, s.InputSize),
+			ub(plats[hw.KeyA100], g),
+			ub(plats[hw.KeyV100], g),
+			ub(plats[hw.KeyJetson], g),
+		)
+	}
+	a.Tables = append(a.Tables, t)
+
+	// Paper-reported reference values for comparison.
+	ref := metrics.NewTable("Computed vs paper-reported",
+		"Model", "GFLOPs (ours)", "GFLOPs (paper)", "Params M (ours)", "Params M (paper)")
+	for _, e := range entries {
+		ref.AddRow(e.Spec.Name, e.Spec.GFLOPsPerImage(), e.PaperGFLOPs,
+			float64(e.Spec.Params())/1e6, e.PaperParamsM)
+	}
+	a.Tables = append(a.Tables, ref)
+
+	// The §4.0.2 compute breakdowns.
+	for _, e := range entries {
+		s := e.Spec
+		if s.Arch == models.ArchTransformer {
+			mlp, attn := s.MLPAttentionShares()
+			a.AddNote("%s: MLP (parameterized linears) %.2f%% of compute, attention matmuls %.2f%%",
+				s.Name, mlp*100, attn*100)
+		} else {
+			conv := s.BreakdownByKind()[models.KindConv]
+			a.AddNote("%s: convolutions account for %.2f%% of compute", s.Name, conv*100)
+		}
+	}
+	a.AddNote("FLOPs counted as multiply-accumulates of parameterized layers (the paper's convention)")
+	_ = opts
+	return a, nil
+}

@@ -1,0 +1,135 @@
+// Package heatmap renders per-tile inference results into field
+// heatmaps — the visualization output of the HARVEST offline workflow
+// ("ultimately generating fine-grained heatmaps", paper §2.2.2).
+package heatmap
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"harvest/internal/imaging"
+)
+
+// Map is a dense grid of scalar values in [0, 1].
+type Map struct {
+	Cols, Rows int
+	Values     []float64 // row-major
+}
+
+// New allocates a zero heatmap.
+func New(cols, rows int) (*Map, error) {
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("heatmap: invalid dimensions %dx%d", cols, rows)
+	}
+	return &Map{Cols: cols, Rows: rows, Values: make([]float64, cols*rows)}, nil
+}
+
+// Set writes a value, clamped to [0, 1].
+func (m *Map) Set(x, y int, v float64) error {
+	if x < 0 || x >= m.Cols || y < 0 || y >= m.Rows {
+		return fmt.Errorf("heatmap: (%d,%d) outside %dx%d", x, y, m.Cols, m.Rows)
+	}
+	if math.IsNaN(v) {
+		v = 0
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	m.Values[y*m.Cols+x] = v
+	return nil
+}
+
+// At reads a value.
+func (m *Map) At(x, y int) float64 { return m.Values[y*m.Cols+x] }
+
+// Mean returns the average cell value.
+func (m *Map) Mean() float64 {
+	s := 0.0
+	for _, v := range m.Values {
+		s += v
+	}
+	return s / float64(len(m.Values))
+}
+
+// colormap maps v in [0,1] through a blue-green-yellow-red ramp.
+func colormap(v float64) (r, g, b uint8) {
+	switch {
+	case v < 0.25:
+		t := v / 0.25
+		return 0, uint8(255 * t), 255
+	case v < 0.5:
+		t := (v - 0.25) / 0.25
+		return 0, 255, uint8(255 * (1 - t))
+	case v < 0.75:
+		t := (v - 0.5) / 0.25
+		return uint8(255 * t), 255, 0
+	default:
+		t := (v - 0.75) / 0.25
+		return 255, uint8(255 * (1 - t)), 0
+	}
+}
+
+// Render draws the heatmap with cellPx pixels per cell.
+func (m *Map) Render(cellPx int) (*imaging.Image, error) {
+	if cellPx <= 0 {
+		return nil, fmt.Errorf("heatmap: invalid cell size %d", cellPx)
+	}
+	im := imaging.NewImage(m.Cols*cellPx, m.Rows*cellPx)
+	for y := 0; y < m.Rows; y++ {
+		for x := 0; x < m.Cols; x++ {
+			r, g, b := colormap(m.At(x, y))
+			for dy := 0; dy < cellPx; dy++ {
+				for dx := 0; dx < cellPx; dx++ {
+					im.Set(x*cellPx+dx, y*cellPx+dy, r, g, b)
+				}
+			}
+		}
+	}
+	return im, nil
+}
+
+// WritePPM renders the heatmap and writes it as a PPM stream.
+func (m *Map) WritePPM(w io.Writer, cellPx int) error {
+	im, err := m.Render(cellPx)
+	if err != nil {
+		return err
+	}
+	return imaging.EncodePPM(w, im)
+}
+
+// FromScores builds a heatmap from per-tile class scores: each tile's
+// value is the softmax probability mass of targetClass.
+func FromScores(cols, rows int, logits [][]float32, targetClass int) (*Map, error) {
+	m, err := New(cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	if len(logits) != cols*rows {
+		return nil, fmt.Errorf("heatmap: %d score rows for %dx%d grid", len(logits), cols, rows)
+	}
+	for i, row := range logits {
+		if targetClass < 0 || targetClass >= len(row) {
+			return nil, fmt.Errorf("heatmap: class %d outside %d-way output", targetClass, len(row))
+		}
+		// Softmax probability of the target class.
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var denom float64
+		for _, v := range row {
+			denom += math.Exp(float64(v - maxv))
+		}
+		p := math.Exp(float64(row[targetClass]-maxv)) / denom
+		if err := m.Set(i%cols, i/cols, p); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,263 @@
+// Package hw models the three hardware platforms of the paper's Table 1
+// (OSC Pitzer V100, OSU MRI A100, NVIDIA Jetson Orin Nano Super) as
+// calibrated analytical performance models.
+//
+// Since this reproduction runs without GPUs, every published operating
+// point of the paper — practical GEMM TFLOPS (Table 1), per-model
+// throughput anchors (Fig. 5), latency knees (Fig. 6), OOM boundaries
+// (Fig. 5/6/8) — is encoded in internal/hw/calibration.go, and the
+// models here interpolate between those anchors with a roofline +
+// saturation formulation:
+//
+//	MFU(b)        = MFUmax * b / (b + Bhalf)
+//	throughput(b) = practicalFLOPS * MFU(b) / FLOPsPerImage
+//	latency(b)    = b / throughput(b)  =  F*(b+Bhalf) / (P*MFUmax)
+//
+// which yields exactly the paper's observed behaviour: a flat latency
+// region at small batch (compute underutilization), a linear region at
+// large batch, and diminishing MFU returns saturating at MFUmax.
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Precision names the numeric format a platform runs inference in.
+type Precision string
+
+// Precisions used in the paper's evaluation.
+const (
+	FP16 Precision = "fp16"
+	BF16 Precision = "bf16"
+)
+
+// Platform describes one row of Table 1 plus the derived cost-model
+// parameters.
+type Platform struct {
+	Name     string // short key: "A100", "V100", "Jetson"
+	FullName string // Table 1 header, e.g. "MRI Cluster (A100)"
+
+	CPUCores int
+	GPUDesc  string
+
+	// GPUMemBytes is the memory of the single GPU used (the paper uses
+	// one of the two GPUs on the cloud nodes). On Jetson this is the
+	// unified CPU+GPU memory.
+	GPUMemBytes  int64
+	HostMemBytes int64
+	Unified      bool
+
+	Scenarios string // Table 1 "Scenario" row
+	Precision Precision
+	PowerW    float64
+
+	// TheoreticalTFLOPS is the vendor number at the used precision;
+	// PracticalTFLOPS is the GEMM-measured value of Table 1.
+	TheoreticalTFLOPS float64
+	PracticalTFLOPS   float64
+	// CalibPracticalTFLOPS is the practical FLOPS the engine
+	// calibration anchors were measured at; zero means equal to
+	// PracticalTFLOPS. Derived platforms (e.g. Jetson power modes)
+	// keep the original value here so MFU calibration stays valid
+	// while throughput scales with PracticalTFLOPS.
+	CalibPracticalTFLOPS float64
+
+	// MemReserveBytes is memory unavailable to the engine (runtime,
+	// CUDA context, and on Jetson the OS share of unified memory).
+	MemReserveBytes int64
+	// PreprocPoolBytes is the additional reservation when a GPU
+	// preprocessing engine is co-located with the model engine
+	// (the Fig. 8 end-to-end configuration).
+	PreprocPoolBytes int64
+
+	// GPU preprocessing (DALI analogue) cost model: per-image cost =
+	// PreFixedNs + DecodeNsPerPixel*inPixels +
+	// TransformNsPerPixel*outPixels, plus PreBatchFixedNs per batch.
+	PreFixedNs         float64
+	DecodeNsPerPixel   float64
+	TransformNsPerPix  float64
+	PreBatchFixedNs    float64
+	PCIeBytesPerSecond float64
+
+	// CPUSingleThreadRel scales single-threaded CPU preprocessing
+	// measured on the build host to this platform (1.0 = typical cloud
+	// Xeon core; Jetson's Cortex cores are slower).
+	CPUSingleThreadRel float64
+}
+
+// FLOPSEfficiency returns practical/theoretical, the Table 1 note's
+// "75.74% to 82.68%" range.
+func (p *Platform) FLOPSEfficiency() float64 {
+	return p.PracticalTFLOPS / p.TheoreticalTFLOPS
+}
+
+// EngineMemBytes is the memory available to a model engine when running
+// alone (Fig. 5/6 configuration).
+func (p *Platform) EngineMemBytes() int64 {
+	return p.GPUMemBytes - p.MemReserveBytes
+}
+
+// PipelineMemBytes is the memory available to the engine in the
+// end-to-end configuration with co-located GPU preprocessing (Fig. 8).
+func (p *Platform) PipelineMemBytes() int64 {
+	return p.GPUMemBytes - p.MemReserveBytes - p.PreprocPoolBytes
+}
+
+const (
+	gib = int64(1) << 30
+	mib = int64(1) << 20
+)
+
+// Platform keys.
+const (
+	KeyA100   = "A100"
+	KeyV100   = "V100"
+	KeyJetson = "Jetson"
+)
+
+// A100 returns the MRI-cluster A100 platform model (Table 1 column 2).
+func A100() *Platform {
+	return &Platform{
+		Name:               KeyA100,
+		FullName:           "MRI Cluster (A100)",
+		CPUCores:           128,
+		GPUDesc:            "NVIDIA A100 40GB x2 (one used)",
+		GPUMemBytes:        40 * gib,
+		HostMemBytes:       256 * gib,
+		Scenarios:          "Online, Offline",
+		Precision:          BF16,
+		PowerW:             400,
+		TheoreticalTFLOPS:  312,
+		PracticalTFLOPS:    236.3,
+		MemReserveBytes:    1 * gib,
+		PreprocPoolBytes:   2 * gib,
+		PreFixedNs:         72_000, // ~72us fixed per image (launch+decode setup)
+		DecodeNsPerPixel:   0.08,
+		TransformNsPerPix:  1.15,
+		PreBatchFixedNs:    220_000,
+		PCIeBytesPerSecond: 24e9,
+		CPUSingleThreadRel: 1.0,
+	}
+}
+
+// V100 returns the OSC Pitzer V100 platform model (Table 1 column 1).
+func V100() *Platform {
+	return &Platform{
+		Name:               KeyV100,
+		FullName:           "OSC Pitzer Cluster (V100)",
+		CPUCores:           40,
+		GPUDesc:            "NVIDIA V100 16GB x2 (one used)",
+		GPUMemBytes:        16 * gib,
+		HostMemBytes:       384 * gib,
+		Scenarios:          "Online, Offline",
+		Precision:          FP16,
+		PowerW:             300,
+		TheoreticalTFLOPS:  112,
+		PracticalTFLOPS:    92.6,
+		MemReserveBytes:    1 * gib,
+		PreprocPoolBytes:   2 * gib,
+		PreFixedNs:         310_000,
+		DecodeNsPerPixel:   0.22,
+		TransformNsPerPix:  3.0,
+		PreBatchFixedNs:    500_000,
+		PCIeBytesPerSecond: 12e9,
+		CPUSingleThreadRel: 0.9,
+	}
+}
+
+// Jetson returns the Jetson Orin Nano Super platform model (Table 1
+// column 3), 25 W mode with 8 GB unified memory.
+func Jetson() *Platform {
+	return &Platform{
+		Name:               KeyJetson,
+		FullName:           "NVIDIA Jetson Orin Nano Super",
+		CPUCores:           6,
+		GPUDesc:            "Ampere, 1024 CUDA cores, 32 tensor cores",
+		GPUMemBytes:        8 * gib,
+		HostMemBytes:       8 * gib,
+		Unified:            true,
+		Scenarios:          "Real-Time",
+		Precision:          FP16,
+		PowerW:             25,
+		TheoreticalTFLOPS:  17,
+		PracticalTFLOPS:    11.4,
+		MemReserveBytes:    2 * gib, // OS + runtime share of unified memory
+		PreprocPoolBytes:   1200 * mib,
+		PreFixedNs:         1_250_000,
+		DecodeNsPerPixel:   1.4,
+		TransformNsPerPix:  14.0,
+		PreBatchFixedNs:    1_500_000,
+		PCIeBytesPerSecond: 0, // unified memory: no PCIe copy
+		CPUSingleThreadRel: 0.45,
+	}
+}
+
+// CalibPractical returns the practical TFLOPS the calibration anchors
+// refer to.
+func (p *Platform) CalibPractical() float64 {
+	if p.CalibPracticalTFLOPS > 0 {
+		return p.CalibPracticalTFLOPS
+	}
+	return p.PracticalTFLOPS
+}
+
+// JetsonPowerWatts lists the Orin Nano Super's selectable power modes;
+// the paper's Table 1 evaluation uses the 25 W mode.
+var JetsonPowerWatts = []float64{7, 15, 25}
+
+// JetsonPowerMode returns the Jetson platform scaled to one of its
+// power modes. GPU throughput follows the sub-linear frequency/voltage
+// curve perf ∝ (W/25)^0.8; CPU cores scale as (W/25)^0.5. Memory
+// capacity is unchanged, so OOM boundaries are identical across modes.
+func JetsonPowerMode(watts float64) (*Platform, error) {
+	ok := false
+	for _, w := range JetsonPowerWatts {
+		if watts == w {
+			ok = true
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("hw: unsupported Jetson power mode %vW (want one of %v)", watts, JetsonPowerWatts)
+	}
+	p := Jetson()
+	if watts == p.PowerW {
+		return p, nil
+	}
+	gpuScale := math.Pow(watts/p.PowerW, 0.8)
+	cpuScale := math.Pow(watts/p.PowerW, 0.5)
+	p.CalibPracticalTFLOPS = p.PracticalTFLOPS
+	p.PracticalTFLOPS *= gpuScale
+	p.TheoreticalTFLOPS *= gpuScale
+	p.PreFixedNs /= gpuScale
+	p.DecodeNsPerPixel /= gpuScale
+	p.TransformNsPerPix /= gpuScale
+	p.PreBatchFixedNs /= gpuScale
+	p.CPUSingleThreadRel *= cpuScale
+	p.PowerW = watts
+	p.FullName = fmt.Sprintf("%s (%gW mode)", p.FullName, watts)
+	return p, nil
+}
+
+// All returns the three evaluated platforms in the paper's order
+// (V100, A100, Jetson follows Table 1; figures order A100 first —
+// callers pick what they need).
+func All() []*Platform {
+	return []*Platform{V100(), A100(), Jetson()}
+}
+
+// FigureOrder returns platforms in the order the figures present them:
+// A100, V100, Jetson.
+func FigureOrder() []*Platform {
+	return []*Platform{A100(), V100(), Jetson()}
+}
+
+// ByName returns the platform with the given short key.
+func ByName(name string) (*Platform, error) {
+	for _, p := range All() {
+		if p.Name == name || p.FullName == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("hw: unknown platform %q", name)
+}

@@ -1,0 +1,88 @@
+package hw
+
+// Roofline analysis (paper §5: "a performance roofline constrained by
+// either compute saturation or memory exhaustion"). For a kernel with
+// arithmetic intensity AI (FLOPs per byte moved), the attainable
+// throughput on a platform is
+//
+//	attainable(AI) = min(peakFLOPS, AI * memBW)
+//
+// Batching raises a model's effective AI because weights are read once
+// per batch rather than once per image — the mechanism behind the
+// paper's Fig. 5 MFU-vs-batch curves.
+
+// MemBWBytesPerSec returns the platform's device memory bandwidth.
+// Values are the published numbers for the evaluated parts: V100
+// 900 GB/s HBM2, A100-40GB 1555 GB/s HBM2e, Orin Nano 68 GB/s LPDDR5.
+func (p *Platform) MemBWBytesPerSec() float64 {
+	switch p.Name {
+	case KeyV100:
+		return 900e9
+	case KeyA100:
+		return 1555e9
+	case KeyJetson:
+		return 68e9
+	}
+	return 100e9
+}
+
+// RooflinePoint is one batch size's position on the roofline.
+type RooflinePoint struct {
+	Batch int
+	// AI is the effective arithmetic intensity in FLOPs/byte.
+	AI float64
+	// AttainableTFLOPS = min(practical peak, AI * BW).
+	AttainableTFLOPS float64
+	// ComputeBound is true when the compute roof binds.
+	ComputeBound bool
+}
+
+// ModelTraffic describes a model's per-batch memory traffic for the
+// roofline: weight bytes are moved once per batch, activation bytes
+// once per image.
+type ModelTraffic struct {
+	FLOPsPerImage  float64
+	WeightBytes    float64
+	ActBytesPerImg float64
+}
+
+// EffectiveAI returns the batch's arithmetic intensity.
+func (m ModelTraffic) EffectiveAI(batch int) float64 {
+	if batch <= 0 {
+		return 0
+	}
+	bytes := m.WeightBytes + float64(batch)*m.ActBytesPerImg
+	if bytes <= 0 {
+		return 0
+	}
+	return m.FLOPsPerImage * float64(batch) / bytes
+}
+
+// Roofline evaluates the attainable throughput for the model across
+// batch sizes on the platform.
+func Roofline(p *Platform, m ModelTraffic, batches []int) []RooflinePoint {
+	peak := p.PracticalTFLOPS * 1e12
+	bw := p.MemBWBytesPerSec()
+	out := make([]RooflinePoint, 0, len(batches))
+	for _, b := range batches {
+		ai := m.EffectiveAI(b)
+		attainable := ai * bw
+		computeBound := attainable >= peak
+		if computeBound {
+			attainable = peak
+		}
+		out = append(out, RooflinePoint{
+			Batch:            b,
+			AI:               ai,
+			AttainableTFLOPS: attainable / 1e12,
+			ComputeBound:     computeBound,
+		})
+	}
+	return out
+}
+
+// RidgeAI returns the platform's ridge point: the arithmetic intensity
+// where the memory roof meets the compute roof.
+func RidgeAI(p *Platform) float64 {
+	return p.PracticalTFLOPS * 1e12 / p.MemBWBytesPerSec()
+}

@@ -1,0 +1,96 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMemBWKnownValues(t *testing.T) {
+	if bw := V100().MemBWBytesPerSec(); bw != 900e9 {
+		t.Errorf("V100 BW %v", bw)
+	}
+	if bw := A100().MemBWBytesPerSec(); bw != 1555e9 {
+		t.Errorf("A100 BW %v", bw)
+	}
+	if bw := Jetson().MemBWBytesPerSec(); bw != 68e9 {
+		t.Errorf("Jetson BW %v", bw)
+	}
+}
+
+func TestEffectiveAIGrowsWithBatch(t *testing.T) {
+	m := ModelTraffic{FLOPsPerImage: 4e9, WeightBytes: 50e6, ActBytesPerImg: 30e6}
+	prev := 0.0
+	for _, b := range []int{1, 2, 8, 64, 1024} {
+		ai := m.EffectiveAI(b)
+		if ai <= prev {
+			t.Fatalf("AI not increasing at batch %d", b)
+		}
+		prev = ai
+	}
+	// Asymptote: FLOPs/actBytes as weights amortize away.
+	asym := m.FLOPsPerImage / m.ActBytesPerImg
+	if got := m.EffectiveAI(1 << 20); math.Abs(got-asym)/asym > 0.01 {
+		t.Errorf("AI asymptote %v, want ~%v", got, asym)
+	}
+	if m.EffectiveAI(0) != 0 {
+		t.Error("zero batch AI nonzero")
+	}
+}
+
+func TestRooflineBounds(t *testing.T) {
+	p := A100()
+	m := ModelTraffic{FLOPsPerImage: 4e9, WeightBytes: 50e6, ActBytesPerImg: 30e6}
+	pts := Roofline(p, m, []int{1, 64, 1024})
+	for _, pt := range pts {
+		if pt.AttainableTFLOPS > p.PracticalTFLOPS+1e-9 {
+			t.Errorf("attainable %v exceeds peak", pt.AttainableTFLOPS)
+		}
+		wantMem := pt.AI * p.MemBWBytesPerSec() / 1e12
+		if !pt.ComputeBound && math.Abs(pt.AttainableTFLOPS-wantMem) > 1e-9 {
+			t.Errorf("memory-bound attainable %v != AI*BW %v", pt.AttainableTFLOPS, wantMem)
+		}
+		if pt.ComputeBound && pt.AttainableTFLOPS != p.PracticalTFLOPS {
+			t.Errorf("compute-bound attainable %v != peak", pt.AttainableTFLOPS)
+		}
+	}
+}
+
+func TestRooflineComputeBoundAtHighAI(t *testing.T) {
+	p := A100()
+	// AI far above the ridge: compute-bound.
+	m := ModelTraffic{FLOPsPerImage: 1e12, WeightBytes: 1, ActBytesPerImg: 1}
+	pts := Roofline(p, m, []int{1})
+	if !pts[0].ComputeBound {
+		t.Error("extreme-AI kernel not compute bound")
+	}
+}
+
+func TestRidgeAI(t *testing.T) {
+	p := V100()
+	want := p.PracticalTFLOPS * 1e12 / p.MemBWBytesPerSec()
+	if got := RidgeAI(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ridge %v, want %v", got, want)
+	}
+	// Jetson's LPDDR5 gives it a much higher ridge than the HBM cloud
+	// parts relative to its peak... actually lower BW and lower peak:
+	// just sanity-check positivity and ordering vs A100.
+	if RidgeAI(Jetson()) <= 0 {
+		t.Error("non-positive ridge")
+	}
+}
+
+func TestVitTinyIsMemoryBoundEverywhere(t *testing.T) {
+	// The characterization insight: ViT_Tiny's AI asymptote
+	// (FLOPs/activation-bytes) sits below every platform's ridge, so it
+	// can never reach peak FLOPS — matching its low Fig. 5 MFU.
+	flops := 1.365e9
+	weights := 5.58e6 * 2
+	act := 8.3e6 * 2 * 2 // elems * fp16 * write+read
+	m := ModelTraffic{FLOPsPerImage: flops, WeightBytes: weights, ActBytesPerImg: act}
+	for _, p := range All() {
+		pts := Roofline(p, m, []int{1024})
+		if pts[0].ComputeBound {
+			t.Errorf("%s: ViT_Tiny unexpectedly compute bound", p.Name)
+		}
+	}
+}

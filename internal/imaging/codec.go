@@ -1,0 +1,137 @@
+package imaging
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"image"
+	"image/jpeg"
+	"io"
+)
+
+// EncodePPM writes the image as binary PPM (P6). PPM stands in for the
+// uncompressed/TIFF-like formats some HARVEST datasets use; its decode
+// cost is memory-bandwidth bound, unlike JPEG's compute-bound decode,
+// reproducing the per-dataset preprocessing variance of Fig. 7.
+func EncodePPM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(im.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodePPM reads a binary PPM (P6) image.
+func DecodePPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxv); err != nil {
+		return nil, fmt.Errorf("imaging: bad ppm header: %w", err)
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("imaging: unsupported magic %q", magic)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("imaging: unreasonable ppm dimensions %dx%d", w, h)
+	}
+	if maxv != 255 {
+		return nil, fmt.Errorf("imaging: unsupported maxval %d", maxv)
+	}
+	if _, err := br.ReadByte(); err != nil { // single whitespace after maxval
+		return nil, err
+	}
+	im := NewImage(w, h)
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("imaging: short ppm pixel data: %w", err)
+	}
+	return im, nil
+}
+
+// EncodeJPEG compresses the image with the standard library encoder at
+// the given quality (1..100).
+func EncodeJPEG(w io.Writer, im *Image, quality int) error {
+	rgba := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			si := (y*im.W + x) * Channels
+			di := y*rgba.Stride + x*4
+			rgba.Pix[di] = im.Pix[si]
+			rgba.Pix[di+1] = im.Pix[si+1]
+			rgba.Pix[di+2] = im.Pix[si+2]
+			rgba.Pix[di+3] = 255
+		}
+	}
+	return jpeg.Encode(w, rgba, &jpeg.Options{Quality: quality})
+}
+
+// DecodeJPEG decompresses a JPEG stream into an Image.
+func DecodeJPEG(r io.Reader) (*Image, error) {
+	src, err := jpeg.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("imaging: jpeg decode: %w", err)
+	}
+	b := src.Bounds()
+	im := NewImage(b.Dx(), b.Dy())
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r16, g16, b16, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			im.Set(x, y, uint8(r16>>8), uint8(g16>>8), uint8(b16>>8))
+		}
+	}
+	return im, nil
+}
+
+// Format identifies the on-disk encoding of a dataset's images.
+type Format int
+
+// Supported storage formats.
+const (
+	// FormatJPEG is compute-bound to decode (DCT + Huffman).
+	FormatJPEG Format = iota
+	// FormatPPM (raw) is bandwidth-bound to decode.
+	FormatPPM
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatJPEG:
+		return "jpeg"
+	case FormatPPM:
+		return "ppm"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// EncodeBytes serializes the image in the given format.
+func EncodeBytes(im *Image, f Format) ([]byte, error) {
+	var buf bytes.Buffer
+	switch f {
+	case FormatJPEG:
+		if err := EncodeJPEG(&buf, im, 85); err != nil {
+			return nil, err
+		}
+	case FormatPPM:
+		if err := EncodePPM(&buf, im); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("imaging: unknown format %v", f)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBytes deserializes an image encoded by EncodeBytes.
+func DecodeBytes(data []byte, f Format) (*Image, error) {
+	switch f {
+	case FormatJPEG:
+		return DecodeJPEG(bytes.NewReader(data))
+	case FormatPPM:
+		return DecodePPM(bytes.NewReader(data))
+	}
+	return nil, fmt.Errorf("imaging: unknown format %v", f)
+}

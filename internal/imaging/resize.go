@@ -1,0 +1,113 @@
+package imaging
+
+import "fmt"
+
+// Resize scales the image to (w, h) using bilinear interpolation,
+// matching the default torchvision Resize behaviour.
+func Resize(src *Image, w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: Resize to invalid %dx%d", w, h))
+	}
+	if w == src.W && h == src.H {
+		return src.Clone()
+	}
+	dst := NewImage(w, h)
+	xRatio := float64(src.W) / float64(w)
+	yRatio := float64(src.H) / float64(h)
+	for y := 0; y < h; y++ {
+		sy := (float64(y)+0.5)*yRatio - 0.5
+		y0 := int(sy)
+		if sy < 0 {
+			sy, y0 = 0, 0
+		}
+		ty := sy - float64(y0)
+		y1 := y0 + 1
+		if y1 >= src.H {
+			y1 = src.H - 1
+		}
+		for x := 0; x < w; x++ {
+			sx := (float64(x)+0.5)*xRatio - 0.5
+			x0 := int(sx)
+			if sx < 0 {
+				sx, x0 = 0, 0
+			}
+			tx := sx - float64(x0)
+			x1 := x0 + 1
+			if x1 >= src.W {
+				x1 = src.W - 1
+			}
+			i00 := (y0*src.W + x0) * Channels
+			i10 := (y0*src.W + x1) * Channels
+			i01 := (y1*src.W + x0) * Channels
+			i11 := (y1*src.W + x1) * Channels
+			di := (y*w + x) * Channels
+			for c := 0; c < Channels; c++ {
+				top := float64(src.Pix[i00+c])*(1-tx) + float64(src.Pix[i10+c])*tx
+				bot := float64(src.Pix[i01+c])*(1-tx) + float64(src.Pix[i11+c])*tx
+				dst.Pix[di+c] = clamp8(top*(1-ty) + bot*ty + 0.5)
+			}
+		}
+	}
+	return dst
+}
+
+// CenterCrop extracts the centered w x h region. If the source is
+// smaller in a dimension the crop is clamped to the source size.
+func CenterCrop(src *Image, w, h int) *Image {
+	if w > src.W {
+		w = src.W
+	}
+	if h > src.H {
+		h = src.H
+	}
+	x0 := (src.W - w) / 2
+	y0 := (src.H - h) / 2
+	dst := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		srcOff := ((y0+y)*src.W + x0) * Channels
+		copy(dst.Pix[y*w*Channels:(y+1)*w*Channels], src.Pix[srcOff:srcOff+w*Channels])
+	}
+	return dst
+}
+
+// ResizeShortSide scales so the shorter side equals target, preserving
+// aspect ratio (the torchvision Resize(int) convention).
+func ResizeShortSide(src *Image, target int) *Image {
+	if src.W <= src.H {
+		h := int(float64(src.H) * float64(target) / float64(src.W))
+		if h < 1 {
+			h = 1
+		}
+		return Resize(src, target, h)
+	}
+	w := int(float64(src.W) * float64(target) / float64(src.H))
+	if w < 1 {
+		w = 1
+	}
+	return Resize(src, w, target)
+}
+
+// ImageNet normalization constants used by both ViT and ResNet
+// preprocessing in the HARVEST pipeline.
+var (
+	ImageNetMean = [3]float32{0.485, 0.456, 0.406}
+	ImageNetStd  = [3]float32{0.229, 0.224, 0.225}
+)
+
+// Normalize converts the image to a CHW float32 tensor buffer scaled to
+// [0,1] then normalized per channel with (x-mean)/std. The returned
+// slice has length 3*W*H in channel-major order, the layout the model
+// engines consume.
+func Normalize(src *Image, mean, std [3]float32) []float32 {
+	n := src.W * src.H
+	out := make([]float32, Channels*n)
+	for c := 0; c < Channels; c++ {
+		inv := 1 / std[c]
+		m := mean[c]
+		for i := 0; i < n; i++ {
+			v := float32(src.Pix[i*Channels+c]) / 255
+			out[c*n+i] = (v - m) * inv
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+
+	"harvest/internal/stats"
+)
+
+func constantImage(w, h int, v uint8) *Image {
+	im := NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = v
+	}
+	return im
+}
+
+func TestResizeDimensions(t *testing.T) {
+	src := Synthesize(100, 60, KindLeaf, stats.NewRNG(1))
+	for _, c := range [][2]int{{50, 30}, {224, 224}, {1, 1}, {200, 120}} {
+		dst := Resize(src, c[0], c[1])
+		if dst.W != c[0] || dst.H != c[1] {
+			t.Errorf("Resize to %v gave %dx%d", c, dst.W, dst.H)
+		}
+	}
+}
+
+func TestResizeConstantInvariance(t *testing.T) {
+	src := constantImage(40, 40, 137)
+	dst := Resize(src, 17, 23)
+	for i, p := range dst.Pix {
+		if p != 137 {
+			t.Fatalf("constant image resize changed pixel %d to %d", i, p)
+		}
+	}
+}
+
+func TestResizeIdentity(t *testing.T) {
+	src := Synthesize(32, 32, KindSoil, stats.NewRNG(2))
+	dst := Resize(src, 32, 32)
+	for i := range src.Pix {
+		if src.Pix[i] != dst.Pix[i] {
+			t.Fatal("same-size resize is not identity")
+		}
+	}
+	// And it must be a copy, not a view.
+	dst.Pix[0] ^= 0xFF
+	if src.Pix[0] == dst.Pix[0] {
+		t.Fatal("same-size resize returned a view")
+	}
+}
+
+func TestResizePanicsOnBadTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resize to 0 did not panic")
+		}
+	}()
+	Resize(NewImage(4, 4), 0, 4)
+}
+
+func TestResizePreservesMeanApproximately(t *testing.T) {
+	src := Synthesize(128, 128, KindRows, stats.NewRNG(3))
+	dst := Resize(src, 32, 32)
+	mean := func(im *Image) float64 {
+		s := 0.0
+		for _, p := range im.Pix {
+			s += float64(p)
+		}
+		return s / float64(len(im.Pix))
+	}
+	if d := math.Abs(mean(src) - mean(dst)); d > 8 {
+		t.Errorf("downscale shifted mean by %v", d)
+	}
+}
+
+func TestCenterCrop(t *testing.T) {
+	src := NewImage(10, 10)
+	src.Set(4, 4, 200, 0, 0) // near center
+	src.Set(0, 0, 0, 200, 0) // corner
+	dst := CenterCrop(src, 4, 4)
+	if dst.W != 4 || dst.H != 4 {
+		t.Fatalf("crop dims %dx%d", dst.W, dst.H)
+	}
+	// (4,4) in src is (1,1) in the 4x4 crop offset (3,3).
+	if r, _, _ := dst.At(1, 1); r != 200 {
+		t.Error("center pixel lost by crop")
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if _, g, _ := dst.At(x, y); g == 200 {
+				t.Error("corner pixel should be cropped away")
+			}
+		}
+	}
+}
+
+func TestCenterCropClampsToSource(t *testing.T) {
+	src := NewImage(5, 5)
+	dst := CenterCrop(src, 10, 10)
+	if dst.W != 5 || dst.H != 5 {
+		t.Errorf("oversize crop gave %dx%d, want clamped 5x5", dst.W, dst.H)
+	}
+}
+
+func TestResizeShortSide(t *testing.T) {
+	src := NewImage(100, 50)
+	dst := ResizeShortSide(src, 25)
+	if dst.H != 25 || dst.W != 50 {
+		t.Errorf("short-side resize gave %dx%d, want 50x25", dst.W, dst.H)
+	}
+	tall := NewImage(50, 100)
+	dst2 := ResizeShortSide(tall, 25)
+	if dst2.W != 25 || dst2.H != 50 {
+		t.Errorf("short-side resize gave %dx%d, want 25x50", dst2.W, dst2.H)
+	}
+}
+
+func TestNormalizeLayoutAndValues(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Set(0, 0, 255, 0, 127)
+	im.Set(1, 0, 0, 255, 127)
+	out := Normalize(im, [3]float32{0.5, 0.5, 0.5}, [3]float32{0.5, 0.5, 0.5})
+	if len(out) != 6 {
+		t.Fatalf("normalized length %d, want 6", len(out))
+	}
+	// CHW layout: out[0..1] = R channel of both pixels.
+	if math.Abs(float64(out[0])-1) > 1e-6 { // (1-0.5)/0.5
+		t.Errorf("R0 = %v, want 1", out[0])
+	}
+	if math.Abs(float64(out[1])+1) > 1e-6 { // (0-0.5)/0.5
+		t.Errorf("R1 = %v, want -1", out[1])
+	}
+	if math.Abs(float64(out[2])+1) > 1e-6 { // G0
+		t.Errorf("G0 = %v, want -1", out[2])
+	}
+	// B channel ~0 for 127.
+	if math.Abs(float64(out[4])) > 0.01 {
+		t.Errorf("B0 = %v, want ~0", out[4])
+	}
+}
+
+func TestNormalizeImageNetRange(t *testing.T) {
+	im := Synthesize(8, 8, KindLeaf, stats.NewRNG(4))
+	out := Normalize(im, ImageNetMean, ImageNetStd)
+	for _, v := range out {
+		if v < -3 || v > 3 {
+			t.Fatalf("normalized value %v outside plausible ImageNet range", v)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ChartOptions control ASCII chart rendering.
+type ChartOptions struct {
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 18)
+	// LogX / LogY select logarithmic axes, matching the paper's
+	// figure axes (batch size and latency are log-scaled there).
+	LogX, LogY bool
+}
+
+// seriesGlyphs mark successive series in the plot.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Chart renders the figure's series as an ASCII line chart with a
+// shared canvas, legend and axis labels. Non-positive values are
+// dropped on log axes.
+func (f *Figure) Chart(opts ChartOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 72
+	}
+	if opts.Height <= 0 {
+		opts.Height = 18
+	}
+	tx := func(v float64) (float64, bool) {
+		if opts.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if opts.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	// Collect transformed bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type pt struct {
+		x, y float64
+		s    int
+	}
+	var pts []pt
+	for si, s := range f.Series {
+		for _, p := range s.Points {
+			x, okx := tx(p.X)
+			y, oky := ty(p.Y)
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			pts = append(pts, pt{x: x, y: y, s: si})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if len(pts) == 0 {
+		b.WriteString("(no drawable points)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	canvas := make([][]byte, opts.Height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(opts.Width-1))
+		row := opts.Height - 1 - int((p.y-minY)/(maxY-minY)*float64(opts.Height-1))
+		canvas[row][col] = seriesGlyphs[p.s%len(seriesGlyphs)]
+	}
+
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	topLabel := fmt.Sprintf("%.4g", inv(maxY, opts.LogY))
+	botLabel := fmt.Sprintf("%.4g", inv(minY, opts.LogY))
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for i, row := range canvas {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%s  %-12.4g%*s\n", strings.Repeat(" ", labelW),
+		inv(minX, opts.LogX), opts.Width-12, fmt.Sprintf("%.4g", inv(maxX, opts.LogX)))
+	fmt.Fprintf(&b, "x: %s, y: %s", f.XLabel, f.YLabel)
+	if opts.LogX {
+		b.WriteString(" (log x)")
+	}
+	if opts.LogY {
+		b.WriteString(" (log y)")
+	}
+	b.WriteString("\nlegend:")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, " %c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

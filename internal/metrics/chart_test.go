@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFigure() *Figure {
+	f := NewFigure("Latency", "batch", "ms")
+	s := f.AddSeries("modelA")
+	for _, b := range []float64{1, 4, 16, 64, 256, 1024} {
+		s.Add(b, 0.5+0.1*b)
+	}
+	t := f.AddSeries("modelB")
+	for _, b := range []float64{1, 4, 16, 64} {
+		t.Add(b, 0.2*b)
+	}
+	return f
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	f := chartFigure()
+	out := f.Chart(ChartOptions{})
+	for _, want := range []string{"Latency", "legend:", "modelA", "modelB", "x: batch", "y: ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	// Both glyphs must appear on the canvas.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing from canvas")
+	}
+}
+
+func TestChartLogAxes(t *testing.T) {
+	f := chartFigure()
+	out := f.Chart(ChartOptions{LogX: true, LogY: true})
+	if !strings.Contains(out, "(log x)") || !strings.Contains(out, "(log y)") {
+		t.Error("log axis markers missing")
+	}
+	// Axis extremes are back-transformed: max x is 1024, not log10.
+	if !strings.Contains(out, "1024") {
+		t.Errorf("x max label missing:\n%s", out)
+	}
+}
+
+func TestChartDropsNonPositiveOnLog(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	s := f.AddSeries("s")
+	s.Add(-1, 5)
+	s.Add(0, 5)
+	out := f.Chart(ChartOptions{LogX: true})
+	if !strings.Contains(out, "no drawable points") {
+		t.Error("non-positive log-x points not dropped")
+	}
+}
+
+func TestChartEmptyFigure(t *testing.T) {
+	f := NewFigure("empty", "x", "y")
+	out := f.Chart(ChartOptions{})
+	if !strings.Contains(out, "no drawable points") {
+		t.Error("empty figure should say so")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	f := NewFigure("single", "x", "y")
+	f.AddSeries("s").Add(3, 7)
+	out := f.Chart(ChartOptions{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestChartDimensions(t *testing.T) {
+	f := chartFigure()
+	out := f.Chart(ChartOptions{Width: 30, Height: 6})
+	lines := strings.Split(out, "\n")
+	// Title + 6 canvas rows + axis + x labels + meta lines.
+	canvasRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			canvasRows++
+		}
+	}
+	if canvasRows != 6 {
+		t.Errorf("canvas rows %d, want 6", canvasRows)
+	}
+}

@@ -1,0 +1,239 @@
+// Package metrics provides latency recording, throughput accounting and
+// the ASCII table/series renderers the experiment harness uses to print
+// the paper's tables and figures.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"harvest/internal/stats"
+)
+
+// LatencyRecorder accumulates latency observations (seconds). It is
+// safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []float64
+}
+
+// Observe records one latency in seconds.
+func (l *LatencyRecorder) Observe(seconds float64) {
+	l.mu.Lock()
+	l.samples = append(l.samples, seconds)
+	l.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (l *LatencyRecorder) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Summary returns descriptive statistics of the observations.
+func (l *LatencyRecorder) Summary() stats.Summary {
+	l.mu.Lock()
+	cp := append([]float64(nil), l.samples...)
+	l.mu.Unlock()
+	return stats.Summarize(cp)
+}
+
+// MeanMs returns the mean latency in milliseconds.
+func (l *LatencyRecorder) MeanMs() float64 { return l.Summary().Mean * 1000 }
+
+// PercentileMs returns the p-th percentile latency in milliseconds.
+func (l *LatencyRecorder) PercentileMs(p float64) float64 {
+	l.mu.Lock()
+	cp := append([]float64(nil), l.samples...)
+	l.mu.Unlock()
+	return stats.Percentile(cp, p) * 1000
+}
+
+// Throughput computes items/second given a count and elapsed seconds.
+func Throughput(items int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(items) / seconds
+}
+
+// MFU computes model FLOPs utilization from achieved throughput.
+func MFU(imgPerSec, flopsPerImage, platformFLOPS float64) float64 {
+	if platformFLOPS <= 0 {
+		return 0
+	}
+	return imgPerSec * flopsPerImage / platformFLOPS
+}
+
+// Table renders aligned ASCII tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct{ X, Y float64 }
+
+// Series is a named curve, the unit figures are assembled from.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// YAt returns the y value at the given x, or NaN if absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the series maximum y and its x.
+func (s *Series) MaxY() (x, y float64) {
+	for i, p := range s.Points {
+		if i == 0 || p.Y > y {
+			x, y = p.X, p.Y
+		}
+	}
+	return x, y
+}
+
+// Figure is a titled group of series (one paper sub-figure).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends and returns a new named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders all series as aligned columns: one row per distinct x.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	// Collect the union of x values.
+	xset := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xset[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	// Header.
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, "  %16.2f", y)
+			} else {
+				fmt.Fprintf(&b, "  %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLatencyRecorder(t *testing.T) {
+	var r LatencyRecorder
+	for _, v := range []float64{0.010, 0.020, 0.030} {
+		r.Observe(v)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("count %d", r.Count())
+	}
+	if m := r.MeanMs(); math.Abs(m-20) > 1e-9 {
+		t.Errorf("mean %v ms, want 20", m)
+	}
+	if p := r.PercentileMs(50); math.Abs(p-20) > 1e-9 {
+		t.Errorf("p50 %v ms, want 20", p)
+	}
+	s := r.Summary()
+	if s.N != 3 || s.Min != 0.010 || s.Max != 0.030 {
+		t.Errorf("summary %+v", s)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var r LatencyRecorder
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 3200 {
+		t.Errorf("count %d, want 3200", r.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if v := Throughput(100, 2); v != 50 {
+		t.Errorf("throughput %v", v)
+	}
+	if v := Throughput(100, 0); v != 0 {
+		t.Errorf("zero-time throughput %v", v)
+	}
+}
+
+func TestMFU(t *testing.T) {
+	// 1000 img/s * 1e9 FLOPs = 1e12 FLOPS on a 1e13 platform = 10%.
+	if v := MFU(1000, 1e9, 1e13); math.Abs(v-0.1) > 1e-12 {
+		t.Errorf("MFU %v, want 0.1", v)
+	}
+	if v := MFU(1, 1, 0); v != 0 {
+		t.Errorf("degenerate MFU %v", v)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "Name", "Value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("beta", "raw")
+	tb.AddRow("gamma", 42)
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows %d", tb.NumRows())
+	}
+	out := tb.String()
+	for _, want := range []string{"My Title", "Name", "Value", "alpha", "3.14", "raw", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "Name,Value\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "alpha,3.14") {
+		t.Errorf("csv rows wrong: %q", csv)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(3, 20)
+	if y, ok := s.YAt(2); !ok || y != 30 {
+		t.Errorf("YAt(2) = %v, %v", y, ok)
+	}
+	if _, ok := s.YAt(9); ok {
+		t.Error("YAt of absent x succeeded")
+	}
+	x, y := s.MaxY()
+	if x != 2 || y != 30 {
+		t.Errorf("MaxY = (%v, %v)", x, y)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := NewFigure("Scaling", "batch", "tflops")
+	a := f.AddSeries("ViT")
+	a.Add(1, 1.5)
+	a.Add(2, 2.5)
+	b := f.AddSeries("ResNet")
+	b.Add(2, 4.5)
+	out := f.String()
+	for _, want := range []string{"Scaling", "batch", "ViT", "ResNet", "1.50", "4.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+	// Missing points render as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing point placeholder absent")
+	}
+}

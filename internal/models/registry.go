@@ -1,0 +1,109 @@
+package models
+
+import "fmt"
+
+// Model names as they appear in the paper's tables and figures.
+const (
+	NameViTTiny  = "ViT_Tiny"
+	NameViTSmall = "ViT_Small"
+	NameViTBase  = "ViT_Base"
+	NameResNet50 = "ResNet50"
+)
+
+// Entry couples a model IR with the paper's Table 3 reference numbers
+// used for validation and calibration.
+type Entry struct {
+	Spec *Spec
+	// PaperGFLOPs is Table 3's "GFLOPs/Image".
+	PaperGFLOPs float64
+	// PaperParamsM is Table 3's parameter count in millions.
+	PaperParamsM float64
+}
+
+// ViTTinyConfig is the evaluated ViT-Tiny: 32x32 input, patch 2
+// (seq 257), dim 192. This reproduces Table 3's 1.37 GFLOPs/image with
+// the parameterized-MACs counting convention.
+func ViTTinyConfig(numClasses int) ViTConfig {
+	return ViTConfig{Name: NameViTTiny, InputSize: 32, PatchSize: 2,
+		Dim: 192, Depth: 12, Heads: 3, MLPRatio: 4, NumClasses: numClasses}
+}
+
+// ViTSmallConfig is the evaluated ViT-Small: 32x32 input, patch 2,
+// dim 384 (Table 3: 5.47 GFLOPs/image).
+func ViTSmallConfig(numClasses int) ViTConfig {
+	return ViTConfig{Name: NameViTSmall, InputSize: 32, PatchSize: 2,
+		Dim: 384, Depth: 12, Heads: 6, MLPRatio: 4, NumClasses: numClasses}
+}
+
+// ViTBaseConfig is the evaluated ViT-Base: 224x224 input, patch 16,
+// dim 768 (Table 3: 16.86 GFLOPs/image).
+func ViTBaseConfig(numClasses int) ViTConfig {
+	return ViTConfig{Name: NameViTBase, InputSize: 224, PatchSize: 16,
+		Dim: 768, Depth: 12, Heads: 12, MLPRatio: 4, NumClasses: numClasses}
+}
+
+// Table3 returns the four evaluated models in the paper's column order,
+// with 1000-class heads (the ImageNet-style heads the parameter counts
+// correspond to).
+func Table3() ([]Entry, error) {
+	vt, err := BuildViT(ViTTinyConfig(1000))
+	if err != nil {
+		return nil, err
+	}
+	vs, err := BuildViT(ViTSmallConfig(1000))
+	if err != nil {
+		return nil, err
+	}
+	vb, err := BuildViT(ViTBaseConfig(1000))
+	if err != nil {
+		return nil, err
+	}
+	rn, err := BuildResNet(ResNet50Config(1000))
+	if err != nil {
+		return nil, err
+	}
+	return []Entry{
+		{Spec: vt, PaperGFLOPs: 1.37, PaperParamsM: 5.39},
+		{Spec: vs, PaperGFLOPs: 5.47, PaperParamsM: 21.40},
+		{Spec: vb, PaperGFLOPs: 16.86, PaperParamsM: 85.80},
+		{Spec: rn, PaperGFLOPs: 4.09, PaperParamsM: 25.56},
+	}, nil
+}
+
+// MustTable3 is Table3 but panics on error (the configs are constants).
+func MustTable3() []Entry {
+	e, err := Table3()
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ByName returns the Table 3 entry with the given name.
+func ByName(name string) (Entry, error) {
+	for _, e := range MustTable3() {
+		if e.Spec.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("models: unknown model %q", name)
+}
+
+// Names returns the four model names in table order.
+func Names() []string {
+	return []string{NameViTTiny, NameViTSmall, NameViTBase, NameResNet50}
+}
+
+// MicroViTConfig returns a very small ViT used by tests and examples
+// that execute real forward passes on the CPU.
+func MicroViTConfig(numClasses int) ViTConfig {
+	return ViTConfig{Name: "ViT_Micro", InputSize: 32, PatchSize: 8,
+		Dim: 48, Depth: 2, Heads: 3, MLPRatio: 2, NumClasses: numClasses}
+}
+
+// MiniResNetConfig returns a shallow narrow ResNet for real-execution
+// tests and examples.
+func MiniResNetConfig(numClasses int) ResNetConfig {
+	return ResNetConfig{Name: "ResNet_Mini", InputSize: 64, NumClasses: numClasses,
+		StageBlocks: []int{1, 1}, BaseWidth: 8, StemWidth: 8}
+}

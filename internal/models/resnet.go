@@ -1,0 +1,233 @@
+package models
+
+import (
+	"fmt"
+
+	"harvest/internal/tensor"
+)
+
+// ResNetConfig parameterizes a bottleneck ResNet (ResNet-50 style).
+type ResNetConfig struct {
+	Name       string
+	InputSize  int
+	NumClasses int
+	// StageBlocks is the number of bottleneck blocks per stage
+	// ({3,4,6,3} for ResNet50).
+	StageBlocks []int
+	// BaseWidth is the mid-channel width of stage 0 (64 for ResNet50).
+	BaseWidth int
+	// StemWidth is the stem conv output channels (64).
+	StemWidth int
+}
+
+// ResNet50Config returns the canonical ResNet-50 configuration of
+// Table 3 (4.09 GFLOPs/image, 25.56M params at 1000 classes).
+func ResNet50Config(numClasses int) ResNetConfig {
+	return ResNetConfig{
+		Name:        "ResNet50",
+		InputSize:   224,
+		NumClasses:  numClasses,
+		StageBlocks: []int{3, 4, 6, 3},
+		BaseWidth:   64,
+		StemWidth:   64,
+	}
+}
+
+// Validate sanity-checks the configuration.
+func (c ResNetConfig) Validate() error {
+	if len(c.StageBlocks) == 0 {
+		return fmt.Errorf("models: resnet %s has no stages", c.Name)
+	}
+	if c.InputSize < 32 || c.BaseWidth <= 0 || c.StemWidth <= 0 || c.NumClasses <= 0 {
+		return fmt.Errorf("models: invalid resnet config %+v", c)
+	}
+	return nil
+}
+
+func convMACs(outH, outW, outC, inC, k int) int64 {
+	return int64(outH) * int64(outW) * int64(outC) * int64(inC) * int64(k) * int64(k)
+}
+
+// BuildResNet constructs the layer-wise IR of a bottleneck ResNet.
+func BuildResNet(c ResNetConfig) (*Spec, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	spec := &Spec{Name: c.Name, Arch: ArchCNN, InputSize: c.InputSize, NumClasses: c.NumClasses}
+	add := func(l Layer) { spec.Layers = append(spec.Layers, l) }
+
+	// Stem: 7x7/2 conv + BN + ReLU + 3x3/2 maxpool.
+	s := c.InputSize / 2
+	add(Layer{Name: "conv1", Kind: KindConv,
+		MACs:     convMACs(s, s, c.StemWidth, 3, 7),
+		Params:   int64(c.StemWidth) * 3 * 49,
+		OutElems: int64(c.StemWidth) * int64(s) * int64(s)})
+	add(Layer{Name: "bn1", Kind: KindNorm, Params: int64(2 * c.StemWidth),
+		OutElems: int64(c.StemWidth) * int64(s) * int64(s)})
+	s /= 2
+	add(Layer{Name: "maxpool", Kind: KindPool,
+		OutElems: int64(c.StemWidth) * int64(s) * int64(s)})
+
+	inC := c.StemWidth
+	for stage, nBlocks := range c.StageBlocks {
+		mid := c.BaseWidth << stage
+		outC := mid * 4
+		for blk := 0; blk < nBlocks; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			outS := s / stride
+			pfx := fmt.Sprintf("layer%d.%d.", stage+1, blk)
+			// 1x1 reduce (applies the stride in the torchvision v1.5
+			// convention's 3x3; we keep stride on the 3x3).
+			add(Layer{Name: pfx + "conv1", Kind: KindConv,
+				MACs:     convMACs(s, s, mid, inC, 1),
+				Params:   int64(mid) * int64(inC),
+				OutElems: int64(mid) * int64(s) * int64(s)})
+			add(Layer{Name: pfx + "bn1", Kind: KindNorm, Params: int64(2 * mid),
+				OutElems: int64(mid) * int64(s) * int64(s)})
+			// 3x3 spatial (carries stride).
+			add(Layer{Name: pfx + "conv2", Kind: KindConv,
+				MACs:     convMACs(outS, outS, mid, mid, 3),
+				Params:   int64(mid) * int64(mid) * 9,
+				OutElems: int64(mid) * int64(outS) * int64(outS)})
+			add(Layer{Name: pfx + "bn2", Kind: KindNorm, Params: int64(2 * mid),
+				OutElems: int64(mid) * int64(outS) * int64(outS)})
+			// 1x1 expand.
+			add(Layer{Name: pfx + "conv3", Kind: KindConv,
+				MACs:     convMACs(outS, outS, outC, mid, 1),
+				Params:   int64(outC) * int64(mid),
+				OutElems: int64(outC) * int64(outS) * int64(outS)})
+			add(Layer{Name: pfx + "bn3", Kind: KindNorm, Params: int64(2 * outC),
+				OutElems: int64(outC) * int64(outS) * int64(outS)})
+			if blk == 0 {
+				// Projection shortcut.
+				add(Layer{Name: pfx + "downsample", Kind: KindConv,
+					MACs:     convMACs(outS, outS, outC, inC, 1),
+					Params:   int64(outC) * int64(inC),
+					OutElems: int64(outC) * int64(outS) * int64(outS)})
+				add(Layer{Name: pfx + "downsample.bn", Kind: KindNorm, Params: int64(2 * outC),
+					OutElems: int64(outC) * int64(outS) * int64(outS)})
+			}
+			inC = outC
+			s = outS
+		}
+	}
+	add(Layer{Name: "avgpool", Kind: KindPool, OutElems: int64(inC)})
+	add(Layer{Name: "fc", Kind: KindLinear,
+		MACs:     int64(inC) * int64(c.NumClasses),
+		Params:   int64(inC)*int64(c.NumClasses) + int64(c.NumClasses),
+		OutElems: int64(c.NumClasses)})
+	return spec, nil
+}
+
+// resnetConv bundles a conv's real weights with folded BN statistics.
+type resnetConv struct {
+	w          *tensor.Tensor
+	bnMean     []float32
+	bnVar      []float32
+	bnG, bnB   []float32
+	stride     int
+	pad        int
+	activateOn bool // apply ReLU after BN
+}
+
+func (rc *resnetConv) apply(x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.Conv2D(x, rc.w, nil, rc.stride, rc.pad)
+	tensor.BatchNormInference(y, rc.bnMean, rc.bnVar, rc.bnG, rc.bnB, 1e-5)
+	if rc.activateOn {
+		tensor.ReLU(y)
+	}
+	return y
+}
+
+type resnetBlock struct {
+	conv1, conv2, conv3 *resnetConv
+	down                *resnetConv // nil when identity shortcut
+}
+
+// ResNetModel is an executable bottleneck ResNet with real weights.
+type ResNetModel struct {
+	Config       ResNetConfig
+	stem         *resnetConv
+	blocks       []*resnetBlock
+	fcW, fcB     *tensor.Tensor
+	finalWidth   int
+	stemPoolSize int
+}
+
+// NewResNetModel allocates a ResNet with random weights and benign BN
+// statistics (mean 0, var 1).
+func NewResNetModel(c ResNetConfig, r tensor.Rand64) (*ResNetModel, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	mkConv := func(outC, inC, k, stride, pad int, act bool) *resnetConv {
+		w := tensor.New(outC, inC, k, k)
+		w.RandInit(r, 0.08)
+		mean := make([]float32, outC)
+		variance := make([]float32, outC)
+		g := make([]float32, outC)
+		bta := make([]float32, outC)
+		for i := range variance {
+			variance[i] = 1
+			g[i] = 1
+		}
+		return &resnetConv{w: w, bnMean: mean, bnVar: variance, bnG: g, bnB: bta,
+			stride: stride, pad: pad, activateOn: act}
+	}
+	m := &ResNetModel{Config: c, stemPoolSize: 3}
+	m.stem = mkConv(c.StemWidth, 3, 7, 2, 3, true)
+	inC := c.StemWidth
+	for stage, nBlocks := range c.StageBlocks {
+		mid := c.BaseWidth << stage
+		outC := mid * 4
+		for blk := 0; blk < nBlocks; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			rb := &resnetBlock{
+				conv1: mkConv(mid, inC, 1, 1, 0, true),
+				conv2: mkConv(mid, mid, 3, stride, 1, true),
+				conv3: mkConv(outC, mid, 1, 1, 0, false),
+			}
+			if blk == 0 {
+				rb.down = mkConv(outC, inC, 1, stride, 0, false)
+			}
+			m.blocks = append(m.blocks, rb)
+			inC = outC
+		}
+	}
+	m.finalWidth = inC
+	m.fcW = tensor.New(c.NumClasses, inC)
+	m.fcW.RandInit(r, 0.08)
+	m.fcB = tensor.New(c.NumClasses)
+	return m, nil
+}
+
+// Forward runs a real forward pass over (B,3,S,S) and returns logits
+// (B x classes).
+func (m *ResNetModel) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	c := m.Config
+	if len(x.Shape) != 4 || x.Shape[1] != 3 || x.Shape[2] != c.InputSize || x.Shape[3] != c.InputSize {
+		return nil, fmt.Errorf("models: ResNet %s expects (B,3,%d,%d), got %v", c.Name, c.InputSize, c.InputSize, x.Shape)
+	}
+	h := m.stem.apply(x)
+	h = tensor.MaxPool2D(h, 3, 2, 1)
+	for _, blk := range m.blocks {
+		identity := h
+		out := blk.conv1.apply(h)
+		out = blk.conv2.apply(out)
+		out = blk.conv3.apply(out)
+		if blk.down != nil {
+			identity = blk.down.apply(h)
+		}
+		tensor.AddInPlace(out, identity)
+		tensor.ReLU(out)
+		h = out
+	}
+	pooled := tensor.GlobalAvgPool2D(h) // (B x width)
+	return tensor.Linear(pooled, m.fcW, m.fcB), nil
+}

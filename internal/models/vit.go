@@ -1,0 +1,242 @@
+package models
+
+import (
+	"fmt"
+
+	"harvest/internal/tensor"
+)
+
+// ViTConfig parameterizes a Vision Transformer.
+type ViTConfig struct {
+	Name       string
+	InputSize  int // square input resolution
+	PatchSize  int
+	Dim        int // embedding dimension
+	Depth      int // encoder blocks
+	Heads      int
+	MLPRatio   int // hidden = MLPRatio * Dim
+	NumClasses int
+}
+
+// SeqLen returns the token count including the class token.
+func (c ViTConfig) SeqLen() int {
+	p := c.InputSize / c.PatchSize
+	return p*p + 1
+}
+
+// Validate sanity-checks the configuration.
+func (c ViTConfig) Validate() error {
+	if c.InputSize%c.PatchSize != 0 {
+		return fmt.Errorf("models: input %d not divisible by patch %d", c.InputSize, c.PatchSize)
+	}
+	if c.Dim%c.Heads != 0 {
+		return fmt.Errorf("models: dim %d not divisible by heads %d", c.Dim, c.Heads)
+	}
+	if c.Depth <= 0 || c.MLPRatio <= 0 || c.NumClasses <= 0 {
+		return fmt.Errorf("models: non-positive ViT dimension in %+v", c)
+	}
+	return nil
+}
+
+// BuildViT constructs the layer-wise IR of a ViT per the config.
+func BuildViT(c ViTConfig) (*Spec, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := int64(c.SeqLen())
+	nPatch := n - 1
+	d := int64(c.Dim)
+	hidden := int64(c.MLPRatio) * d
+	patchIn := int64(3 * c.PatchSize * c.PatchSize)
+
+	spec := &Spec{Name: c.Name, Arch: ArchTransformer, InputSize: c.InputSize, NumClasses: c.NumClasses}
+	add := func(l Layer) { spec.Layers = append(spec.Layers, l) }
+
+	// Patch embedding: a conv with kernel=stride=patch, i.e. a linear
+	// projection of each patch.
+	add(Layer{Name: "patch_embed", Kind: KindEmbed,
+		MACs:     nPatch * d * patchIn,
+		Params:   d*patchIn + d,
+		OutElems: n * d,
+	})
+	// Learned position embedding + class token (no MACs).
+	add(Layer{Name: "pos_embed", Kind: KindEmbed, Params: n*d + d, OutElems: n * d})
+
+	for b := 0; b < c.Depth; b++ {
+		pfx := fmt.Sprintf("block%d.", b)
+		add(Layer{Name: pfx + "norm1", Kind: KindNorm, Params: 2 * d, OutElems: n * d})
+		add(Layer{Name: pfx + "attn.qkv", Kind: KindLinear,
+			MACs: n * d * 3 * d, Params: 3*d*d + 3*d, OutElems: n * 3 * d})
+		// QK^T and AV: 2 * n^2 * d MACs total across heads.
+		add(Layer{Name: pfx + "attn.matmul", Kind: KindAttnMatmul,
+			MACs: 2 * n * n * d, OutElems: n * n * int64(c.Heads)})
+		add(Layer{Name: pfx + "attn.proj", Kind: KindLinear,
+			MACs: n * d * d, Params: d*d + d, OutElems: n * d})
+		add(Layer{Name: pfx + "norm2", Kind: KindNorm, Params: 2 * d, OutElems: n * d})
+		add(Layer{Name: pfx + "mlp.fc1", Kind: KindLinear,
+			MACs: n * d * hidden, Params: d*hidden + hidden, OutElems: n * hidden})
+		add(Layer{Name: pfx + "mlp.act", Kind: KindAct, OutElems: n * hidden})
+		add(Layer{Name: pfx + "mlp.fc2", Kind: KindLinear,
+			MACs: n * hidden * d, Params: hidden*d + d, OutElems: n * d})
+	}
+	add(Layer{Name: "norm", Kind: KindNorm, Params: 2 * d, OutElems: n * d})
+	add(Layer{Name: "head", Kind: KindLinear,
+		MACs: d * int64(c.NumClasses), Params: d*int64(c.NumClasses) + int64(c.NumClasses),
+		OutElems: int64(c.NumClasses)})
+	return spec, nil
+}
+
+// ViTWeights holds the real float32 parameters of one encoder block.
+type vitBlock struct {
+	norm1G, norm1B *tensor.Tensor
+	qkvW, qkvB     *tensor.Tensor // (3d x d), (3d)
+	projW, projB   *tensor.Tensor // (d x d), (d)
+	norm2G, norm2B *tensor.Tensor
+	fc1W, fc1B     *tensor.Tensor // (hidden x d), (hidden)
+	fc2W, fc2B     *tensor.Tensor // (d x hidden), (d)
+}
+
+// ViTModel is an executable ViT with real weights.
+type ViTModel struct {
+	Config ViTConfig
+	// patchW is (d x 3*p*p); patchB is (d).
+	patchW, patchB *tensor.Tensor
+	posEmbed       *tensor.Tensor // (n x d)
+	clsToken       *tensor.Tensor // (1 x d)
+	blocks         []vitBlock
+	normG, normB   *tensor.Tensor
+	headW, headB   *tensor.Tensor // (classes x d)
+}
+
+// NewViTModel allocates a ViT with weights initialized from r.
+func NewViTModel(c ViTConfig, r tensor.Rand64) (*ViTModel, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	d := c.Dim
+	hidden := c.MLPRatio * d
+	n := c.SeqLen()
+	pin := 3 * c.PatchSize * c.PatchSize
+	scale := 0.05
+
+	mk := func(shape ...int) *tensor.Tensor {
+		t := tensor.New(shape...)
+		t.RandInit(r, scale)
+		return t
+	}
+	ones := func(sz int) *tensor.Tensor {
+		t := tensor.New(sz)
+		t.Fill(1)
+		return t
+	}
+	m := &ViTModel{
+		Config:   c,
+		patchW:   mk(d, pin),
+		patchB:   mk(d),
+		posEmbed: mk(n, d),
+		clsToken: mk(1, d),
+		normG:    ones(d),
+		normB:    tensor.New(d),
+		headW:    mk(c.NumClasses, d),
+		headB:    mk(c.NumClasses),
+	}
+	for i := 0; i < c.Depth; i++ {
+		m.blocks = append(m.blocks, vitBlock{
+			norm1G: ones(d), norm1B: tensor.New(d),
+			qkvW: mk(3*d, d), qkvB: mk(3 * d),
+			projW: mk(d, d), projB: mk(d),
+			norm2G: ones(d), norm2B: tensor.New(d),
+			fc1W: mk(hidden, d), fc1B: mk(hidden),
+			fc2W: mk(d, hidden), fc2B: mk(d),
+		})
+	}
+	return m, nil
+}
+
+// Forward runs a real forward pass over a batch of CHW images
+// (batch x 3 x S x S) and returns logits (batch x classes).
+func (m *ViTModel) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	c := m.Config
+	if len(x.Shape) != 4 || x.Shape[1] != 3 || x.Shape[2] != c.InputSize || x.Shape[3] != c.InputSize {
+		return nil, fmt.Errorf("models: ViT %s expects (B,3,%d,%d), got %v", c.Name, c.InputSize, c.InputSize, x.Shape)
+	}
+	batch := x.Shape[0]
+	out := tensor.New(batch, c.NumClasses)
+	for b := 0; b < batch; b++ {
+		logits := m.forwardOne(x, b)
+		copy(out.Data[b*c.NumClasses:(b+1)*c.NumClasses], logits.Data)
+	}
+	return out, nil
+}
+
+func (m *ViTModel) forwardOne(x *tensor.Tensor, b int) *tensor.Tensor {
+	c := m.Config
+	d := c.Dim
+	p := c.PatchSize
+	grid := c.InputSize / p
+	nPatch := grid * grid
+	n := nPatch + 1
+	pin := 3 * p * p
+
+	// Extract patches into (nPatch x pin).
+	patches := tensor.New(nPatch, pin)
+	s := c.InputSize
+	for py := 0; py < grid; py++ {
+		for px := 0; px < grid; px++ {
+			row := patches.Data[(py*grid+px)*pin : (py*grid+px+1)*pin]
+			i := 0
+			for ch := 0; ch < 3; ch++ {
+				for dy := 0; dy < p; dy++ {
+					for dx := 0; dx < p; dx++ {
+						row[i] = x.Data[((b*3+ch)*s+(py*p+dy))*s+px*p+dx]
+						i++
+					}
+				}
+			}
+		}
+	}
+	// Token sequence with class token + position embedding.
+	embedded := tensor.Linear(patches, m.patchW, m.patchB) // (nPatch x d)
+	tokens := tensor.New(n, d)
+	copy(tokens.Data[:d], m.clsToken.Data)
+	copy(tokens.Data[d:], embedded.Data)
+	tensor.AddInPlace(tokens, m.posEmbed)
+
+	headDim := d / c.Heads
+	for _, blk := range m.blocks {
+		// Attention sub-block with pre-norm and residual.
+		normed := tokens.Clone()
+		tensor.LayerNorm(normed, blk.norm1G, blk.norm1B, 1e-6)
+		qkv := tensor.Linear(normed, blk.qkvW, blk.qkvB) // (n x 3d)
+		attnOut := tensor.New(n, d)
+		for h := 0; h < c.Heads; h++ {
+			q := tensor.New(n, headDim)
+			k := tensor.New(n, headDim)
+			v := tensor.New(n, headDim)
+			for t := 0; t < n; t++ {
+				base := t * 3 * d
+				copy(q.Data[t*headDim:(t+1)*headDim], qkv.Data[base+h*headDim:base+(h+1)*headDim])
+				copy(k.Data[t*headDim:(t+1)*headDim], qkv.Data[base+d+h*headDim:base+d+(h+1)*headDim])
+				copy(v.Data[t*headDim:(t+1)*headDim], qkv.Data[base+2*d+h*headDim:base+2*d+(h+1)*headDim])
+			}
+			o := tensor.Attention(q, k, v)
+			for t := 0; t < n; t++ {
+				copy(attnOut.Data[t*d+h*headDim:t*d+(h+1)*headDim], o.Data[t*headDim:(t+1)*headDim])
+			}
+		}
+		proj := tensor.Linear(attnOut, blk.projW, blk.projB)
+		tensor.AddInPlace(tokens, proj)
+
+		// MLP sub-block with pre-norm and residual.
+		normed = tokens.Clone()
+		tensor.LayerNorm(normed, blk.norm2G, blk.norm2B, 1e-6)
+		hiddenT := tensor.Linear(normed, blk.fc1W, blk.fc1B)
+		tensor.GELU(hiddenT)
+		mlpOut := tensor.Linear(hiddenT, blk.fc2W, blk.fc2B)
+		tensor.AddInPlace(tokens, mlpOut)
+	}
+
+	tensor.LayerNorm(tokens, m.normG, m.normB, 1e-6)
+	cls := tensor.FromSlice(tokens.Data[:d], 1, d)
+	return tensor.Linear(cls, m.headW, m.headB)
+}

@@ -1,0 +1,119 @@
+package models
+
+import (
+	"fmt"
+
+	"harvest/internal/tensor"
+)
+
+// NamedTensor pairs a canonical parameter name with its tensor, for
+// serialization (internal/modelio) and engine building.
+type NamedTensor struct {
+	Name   string
+	Tensor *tensor.Tensor
+}
+
+// NamedTensors returns every learnable tensor of the ViT in a stable
+// order with torchvision-style names.
+func (m *ViTModel) NamedTensors() []NamedTensor {
+	out := []NamedTensor{
+		{"patch_embed.weight", m.patchW},
+		{"patch_embed.bias", m.patchB},
+		{"pos_embed", m.posEmbed},
+		{"cls_token", m.clsToken},
+	}
+	for i, b := range m.blocks {
+		pfx := fmt.Sprintf("blocks.%d.", i)
+		out = append(out,
+			NamedTensor{pfx + "norm1.weight", b.norm1G},
+			NamedTensor{pfx + "norm1.bias", b.norm1B},
+			NamedTensor{pfx + "attn.qkv.weight", b.qkvW},
+			NamedTensor{pfx + "attn.qkv.bias", b.qkvB},
+			NamedTensor{pfx + "attn.proj.weight", b.projW},
+			NamedTensor{pfx + "attn.proj.bias", b.projB},
+			NamedTensor{pfx + "norm2.weight", b.norm2G},
+			NamedTensor{pfx + "norm2.bias", b.norm2B},
+			NamedTensor{pfx + "mlp.fc1.weight", b.fc1W},
+			NamedTensor{pfx + "mlp.fc1.bias", b.fc1B},
+			NamedTensor{pfx + "mlp.fc2.weight", b.fc2W},
+			NamedTensor{pfx + "mlp.fc2.bias", b.fc2B},
+		)
+	}
+	out = append(out,
+		NamedTensor{"norm.weight", m.normG},
+		NamedTensor{"norm.bias", m.normB},
+		NamedTensor{"head.weight", m.headW},
+		NamedTensor{"head.bias", m.headB},
+	)
+	return out
+}
+
+// LoadTensors replaces the ViT's parameters from a name->tensor lookup.
+// Every parameter must be present with a matching shape.
+func (m *ViTModel) LoadTensors(lookup map[string]*tensor.Tensor) error {
+	for _, nt := range m.NamedTensors() {
+		src, ok := lookup[nt.Name]
+		if !ok {
+			return fmt.Errorf("models: missing tensor %q", nt.Name)
+		}
+		if err := assignTensor(nt.Tensor, src, nt.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// namedTensorsResNet enumerates a resnetConv's tensors.
+func (rc *resnetConv) namedTensors(pfx string) []NamedTensor {
+	return []NamedTensor{
+		{pfx + "weight", rc.w},
+		{pfx + "bn.mean", tensor.FromSlice(rc.bnMean, len(rc.bnMean))},
+		{pfx + "bn.var", tensor.FromSlice(rc.bnVar, len(rc.bnVar))},
+		{pfx + "bn.gamma", tensor.FromSlice(rc.bnG, len(rc.bnG))},
+		{pfx + "bn.beta", tensor.FromSlice(rc.bnB, len(rc.bnB))},
+	}
+}
+
+// NamedTensors returns every learnable tensor of the ResNet in a
+// stable order. BN statistics are included (they fold into the conv at
+// engine-build time but must survive serialization).
+func (m *ResNetModel) NamedTensors() []NamedTensor {
+	out := m.stem.namedTensors("stem.")
+	for i, blk := range m.blocks {
+		pfx := fmt.Sprintf("blocks.%d.", i)
+		out = append(out, blk.conv1.namedTensors(pfx+"conv1.")...)
+		out = append(out, blk.conv2.namedTensors(pfx+"conv2.")...)
+		out = append(out, blk.conv3.namedTensors(pfx+"conv3.")...)
+		if blk.down != nil {
+			out = append(out, blk.down.namedTensors(pfx+"down.")...)
+		}
+	}
+	out = append(out,
+		NamedTensor{"fc.weight", m.fcW},
+		NamedTensor{"fc.bias", m.fcB},
+	)
+	return out
+}
+
+// LoadTensors replaces the ResNet's parameters from a name->tensor
+// lookup. Every parameter must be present with a matching shape.
+func (m *ResNetModel) LoadTensors(lookup map[string]*tensor.Tensor) error {
+	for _, nt := range m.NamedTensors() {
+		src, ok := lookup[nt.Name]
+		if !ok {
+			return fmt.Errorf("models: missing tensor %q", nt.Name)
+		}
+		if err := assignTensor(nt.Tensor, src, nt.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func assignTensor(dst, src *tensor.Tensor, name string) error {
+	if len(dst.Data) != len(src.Data) {
+		return fmt.Errorf("models: tensor %q has %d values, want %d", name, len(src.Data), len(dst.Data))
+	}
+	copy(dst.Data, src.Data)
+	return nil
+}

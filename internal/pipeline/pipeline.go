@@ -1,0 +1,202 @@
+// Package pipeline composes the full HARVEST inference path — dataset
+// read, dataset-specific preprocessing, model-specific preprocessing,
+// host-device transfer and engine inference — and evaluates its
+// end-to-end latency and throughput with the discrete-event simulator,
+// including the preprocessing/inference overlap that drives the
+// paper's Fig. 8 results.
+package pipeline
+
+import (
+	"fmt"
+
+	"harvest/internal/datasets"
+	"harvest/internal/engine"
+	"harvest/internal/hw"
+	"harvest/internal/sim"
+	"harvest/internal/trace"
+)
+
+// Config selects one (platform, model, dataset) end-to-end combination.
+type Config struct {
+	Platform *hw.Platform
+	Model    string
+	Dataset  datasets.Spec
+
+	// Batch is the request batch size; 0 selects the largest batch
+	// before OOM capped at hw.EndToEndMaxBatch, the Fig. 8 policy.
+	Batch int
+	// Batches is how many batches to push through (default 32).
+	Batches int
+	// Overlap enables pipelined execution of preprocessing, transfer
+	// and inference on their respective resources (default behaviour of
+	// the HARVEST backend); when false, stages run strictly serially.
+	Overlap bool
+	// CPUPreproc switches preprocessing from the GPU (DALI-analogue)
+	// engine to the modeled single-thread CPU path.
+	CPUPreproc bool
+	// HostCPUSecondsPerImage must be provided when CPUPreproc is set:
+	// the measured single-thread host seconds per image for this
+	// dataset (from a real internal/preprocess run).
+	HostCPUSecondsPerImage float64
+	// Trace, when non-nil, receives the simulated timeline (one span
+	// per batch per stage) for Chrome trace export.
+	Trace *trace.Recorder
+}
+
+// Result reports the end-to-end behaviour of the pipeline.
+type Result struct {
+	Batch int
+	// LatencyMs is the mean per-batch end-to-end latency (preprocess
+	// start to inference completion).
+	LatencyMs float64
+	// Throughput is total images divided by makespan.
+	Throughput float64
+	// Per-batch stage costs (seconds).
+	PreprocSeconds  float64
+	TransferSeconds float64
+	InferSeconds    float64
+	// Bottleneck names the stage with the largest per-batch cost.
+	Bottleneck string
+	// EngineBoundThroughput is the inference-only throughput at this
+	// batch size — what Fig. 8 calls the model engine's upper bound.
+	EngineBoundThroughput float64
+}
+
+// Run simulates the pipeline and returns its steady behaviour.
+func Run(cfg Config) (Result, error) {
+	if cfg.Platform == nil {
+		return Result{}, fmt.Errorf("pipeline: nil platform")
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 32
+	}
+	eng, err := engine.New(cfg.Platform, cfg.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	eng.Pipeline = true
+
+	batch := cfg.Batch
+	if batch == 0 {
+		batch = eng.MaxBatch(hw.EndToEndMaxBatch)
+		if batch == 0 {
+			return Result{}, fmt.Errorf("pipeline: %s does not fit on %s with co-located preprocessing",
+				cfg.Model, cfg.Platform.Name)
+		}
+	}
+	inferStats, err := eng.Infer(batch)
+	if err != nil {
+		return Result{}, err
+	}
+
+	outRes := eng.Entry.Spec.InputSize
+	meanPixels := cfg.Dataset.MeanPixels(256, 1)
+
+	var preprocSec float64
+	if cfg.CPUPreproc {
+		if cfg.HostCPUSecondsPerImage <= 0 {
+			return Result{}, fmt.Errorf("pipeline: CPUPreproc requires HostCPUSecondsPerImage")
+		}
+		preprocSec = hw.ScaleCPUSeconds(cfg.Platform, cfg.HostCPUSecondsPerImage) * float64(batch)
+	} else {
+		inPixels := make([]int, batch)
+		for i := range inPixels {
+			inPixels[i] = int(meanPixels)
+		}
+		preprocSec = hw.GPUPreprocBatchSeconds(cfg.Platform, inPixels, outRes*outRes)
+	}
+
+	// Host-to-device copy of the normalized fp32 batch.
+	batchBytes := int64(batch) * int64(3*outRes*outRes) * 4
+	transferSec := eng.Perf.TransferSeconds(batchBytes)
+
+	res := Result{
+		Batch:                 batch,
+		PreprocSeconds:        preprocSec,
+		TransferSeconds:       transferSec,
+		InferSeconds:          inferStats.Seconds,
+		EngineBoundThroughput: inferStats.ImgPerSec,
+	}
+	switch {
+	case preprocSec >= inferStats.Seconds && preprocSec >= transferSec:
+		res.Bottleneck = "preprocess"
+	case inferStats.Seconds >= transferSec:
+		res.Bottleneck = "inference"
+	default:
+		res.Bottleneck = "transfer"
+	}
+
+	// Discrete-event simulation of cfg.Batches batches through the
+	// three stages.
+	s := sim.New()
+	pre := sim.NewResource(s, "preprocess", 1)
+	cp := sim.NewResource(s, "copy", 1)
+	gpu := sim.NewResource(s, "engine", 1)
+
+	record := func(track, name string, start, end float64) {
+		if cfg.Trace == nil {
+			return
+		}
+		cfg.Trace.Add(trace.Span{Name: name, Track: track,
+			Start: start, Duration: end - start})
+	}
+	latencies := make([]float64, 0, cfg.Batches)
+	var makespan float64
+	for i := 0; i < cfg.Batches; i++ {
+		batchID := i
+		submit := func() {
+			// Latency is measured from the batch's actual
+			// preprocessing start (service latency including pipeline
+			// backpressure, excluding offline queueing of the whole
+			// input set).
+			pre.Submit(preprocSec, func(preStart, preEnd float64) {
+				record("preprocess", fmt.Sprintf("batch %d", batchID), preStart, preEnd)
+				cp.Submit(transferSec, func(cpStart, cpEnd float64) {
+					record("transfer", fmt.Sprintf("batch %d", batchID), cpStart, cpEnd)
+					gpu.Submit(inferStats.Seconds, func(gpuStart, gpuEnd float64) {
+						record("engine", fmt.Sprintf("batch %d", batchID), gpuStart, gpuEnd)
+						latencies = append(latencies, gpuEnd-preStart)
+						if gpuEnd > makespan {
+							makespan = gpuEnd
+						}
+					})
+				})
+			})
+		}
+		if cfg.Overlap {
+			// All batches are available up front (offline scenario);
+			// the resources pipeline them.
+			submit()
+		} else {
+			// Strictly serial: batch i+1 starts when batch i finishes.
+			delay := float64(i) * (preprocSec + transferSec + inferStats.Seconds)
+			s.Schedule(delay, submit)
+		}
+	}
+	s.Run()
+
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	if len(latencies) > 0 {
+		res.LatencyMs = sum / float64(len(latencies)) * 1000
+	}
+	if makespan > 0 {
+		res.Throughput = float64(batch*cfg.Batches) / makespan
+	}
+	return res, nil
+}
+
+// Sequential returns the result with Overlap disabled, for the
+// overlap-on/off ablation.
+func Sequential(cfg Config) (Result, error) {
+	cfg.Overlap = false
+	return Run(cfg)
+}
+
+// Overlapped returns the result with Overlap enabled.
+func Overlapped(cfg Config) (Result, error) {
+	cfg.Overlap = true
+	return Run(cfg)
+}

@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"harvest/internal/datasets"
+	"harvest/internal/hw"
+	"harvest/internal/models"
+	"harvest/internal/trace"
+)
+
+func TestPipelineTraceTimeline(t *testing.T) {
+	rec := trace.NewRecorder()
+	_, err := Run(Config{
+		Platform: hw.A100(),
+		Model:    models.NameViTBase,
+		Dataset:  evalSpec(t, datasets.SlugPlantVillage),
+		Batches:  6,
+		Overlap:  true,
+		Trace:    rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 batches x 3 stages.
+	if rec.Len() != 18 {
+		t.Fatalf("recorded %d spans, want 18", rec.Len())
+	}
+	// Each track is a serial resource: no overlap within a track.
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Overlap across tracks must exist: total busy time exceeds the
+	// makespan of any single track.
+	busy := rec.TrackBusy()
+	if busy["preprocess"] <= 0 || busy["engine"] <= 0 {
+		t.Fatalf("missing stage activity: %v", busy)
+	}
+	spans := rec.Spans()
+	var engineStart, preEnd float64
+	for _, s := range spans {
+		if s.Track == "engine" && s.Name == "batch 0" {
+			engineStart = s.Start
+		}
+		if s.Track == "preprocess" && s.Name == "batch 1" {
+			preEnd = s.Start + s.Duration
+		}
+	}
+	// Batch 1's preprocessing must start before batch 0's inference
+	// completes under overlap — otherwise the pipeline is serial.
+	if preEnd <= engineStart {
+		t.Error("no cross-stage overlap visible in trace")
+	}
+	// Chrome export produces valid JSON.
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 100 {
+		t.Error("chrome trace suspiciously small")
+	}
+}
+
+func TestPipelineNoTraceByDefault(t *testing.T) {
+	// Trace nil must be safe (no panic, no recording).
+	if _, err := Run(Config{
+		Platform: hw.V100(),
+		Model:    models.NameViTTiny,
+		Dataset:  evalSpec(t, datasets.SlugFruits360),
+		Batches:  2,
+		Overlap:  true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"harvest/internal/energy"
+	"harvest/internal/engine"
+	"harvest/internal/hw"
+	"harvest/internal/models"
+)
+
+// Objective selects what the planner optimizes once requirements are
+// met.
+type Objective int
+
+// Planner objectives.
+const (
+	// MaxThroughput picks the highest-throughput feasible config
+	// (cloud/offline campaigns).
+	MaxThroughput Objective = iota
+	// MinLatency picks the lowest-latency feasible config (real-time).
+	MinLatency
+	// MaxImagesPerJoule picks the most energy-efficient feasible
+	// config (battery-powered edge).
+	MaxImagesPerJoule
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MaxThroughput:
+		return "max-throughput"
+	case MinLatency:
+		return "min-latency"
+	case MaxImagesPerJoule:
+		return "max-images-per-joule"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Requirements describe a target deployment before it exists.
+type Requirements struct {
+	// SLOSeconds bounds per-batch latency (0 = unconstrained).
+	SLOSeconds float64
+	// MinImgPerSec bounds throughput (0 = unconstrained).
+	MinImgPerSec float64
+	// Pipeline selects the co-located-preprocessing memory budget
+	// (the end-to-end deployment shape).
+	Pipeline  bool
+	Objective Objective
+	// ProfileBatches are the batch sizes used as profiling runs
+	// (default {1, 16}).
+	ProfileBatches []int
+}
+
+// Option is one feasible deployment configuration with its predictions.
+type Option struct {
+	Platform string
+	Model    string
+	Batch    int
+
+	PredLatencySeconds float64
+	PredImgPerSec      float64
+	ImagesPerJoule     float64
+	MemoryBytes        int64
+	// FitReport is the predictor's validation against the engine's
+	// full sweep, i.e. how much the two-point profile mispredicts.
+	FitReport ValidationReport
+}
+
+// Plan evaluates every (platform, model) pair by running the profiling
+// batches against its engine, fitting a Predictor, and selecting batch
+// sizes that meet the requirements. Options are returned best-first
+// under the requirement's objective; an error is returned only when no
+// configuration is feasible.
+func Plan(req Requirements, platforms []*hw.Platform, modelNames []string) ([]Option, error) {
+	if len(platforms) == 0 {
+		platforms = hw.FigureOrder()
+	}
+	if len(modelNames) == 0 {
+		modelNames = models.Names()
+	}
+	profile := req.ProfileBatches
+	if len(profile) == 0 {
+		profile = []int{1, 16}
+	}
+	var opts []Option
+	for _, p := range platforms {
+		for _, name := range modelNames {
+			eng, err := engine.New(p, name)
+			if err != nil {
+				return nil, err
+			}
+			eng.Pipeline = req.Pipeline
+
+			// Profiling runs; clamp profile batches to the engine's
+			// memory limit so small devices still get two points.
+			maxb := eng.MaxBatch(0)
+			var samples []Sample
+			seen := map[int]bool{}
+			for _, b := range profile {
+				if b > maxb {
+					b = maxb
+				}
+				if b <= 0 || seen[b] {
+					continue
+				}
+				seen[b] = true
+				st, err := eng.Infer(b)
+				if err != nil {
+					continue
+				}
+				samples = append(samples, Sample{Batch: b, Seconds: st.Seconds})
+			}
+			if len(samples) < 2 && maxb > 1 {
+				// Fall back to the extremes.
+				for _, b := range []int{1, maxb} {
+					if seen[b] {
+						continue
+					}
+					if st, err := eng.Infer(b); err == nil {
+						samples = append(samples, Sample{Batch: b, Seconds: st.Seconds})
+						seen[b] = true
+					}
+				}
+			}
+			pred, err := Fit(samples)
+			if err != nil {
+				continue
+			}
+
+			// Ground truth over the feasible sweep for validation and
+			// feasibility checks.
+			sweep := hw.BatchSweep(p.Name)
+			var truth []Sample
+			feasible := sweep[:0:0]
+			for _, b := range sweep {
+				st, err := eng.Infer(b)
+				if err != nil {
+					break // OOM: larger batches also fail
+				}
+				truth = append(truth, Sample{Batch: b, Seconds: st.Seconds})
+				feasible = append(feasible, b)
+			}
+			if len(feasible) == 0 {
+				continue
+			}
+			rep := pred.Validate(truth)
+
+			batch := chooseBatch(req, pred, feasible)
+			if batch == 0 {
+				continue
+			}
+			st, err := eng.Infer(batch)
+			if err != nil {
+				continue
+			}
+			em := energy.New(p)
+			ipj, err := em.ImagesPerJoule(st.ImgPerSec, st.MFU)
+			if err != nil {
+				continue
+			}
+			opts = append(opts, Option{
+				Platform:           p.Name,
+				Model:              name,
+				Batch:              batch,
+				PredLatencySeconds: pred.LatencySeconds(batch),
+				PredImgPerSec:      pred.Throughput(batch),
+				ImagesPerJoule:     ipj,
+				MemoryBytes:        eng.Perf.MemoryBytes(batch, req.Pipeline),
+				FitReport:          rep,
+			})
+		}
+	}
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("predict: no feasible configuration for %+v", req)
+	}
+	sort.SliceStable(opts, func(i, j int) bool {
+		switch req.Objective {
+		case MinLatency:
+			return opts[i].PredLatencySeconds < opts[j].PredLatencySeconds
+		case MaxImagesPerJoule:
+			return opts[i].ImagesPerJoule > opts[j].ImagesPerJoule
+		default:
+			return opts[i].PredImgPerSec > opts[j].PredImgPerSec
+		}
+	})
+	return opts, nil
+}
+
+// chooseBatch picks the batch meeting the requirements under the
+// objective, from the feasible (memory-fitting) candidates.
+func chooseBatch(req Requirements, pred *Predictor, feasible []int) int {
+	meets := func(b int) bool {
+		if req.SLOSeconds > 0 && pred.LatencySeconds(b) > req.SLOSeconds {
+			return false
+		}
+		if req.MinImgPerSec > 0 && pred.Throughput(b) < req.MinImgPerSec {
+			return false
+		}
+		return true
+	}
+	switch req.Objective {
+	case MinLatency:
+		// Smallest batch that still meets throughput.
+		for _, b := range feasible {
+			if meets(b) {
+				return b
+			}
+		}
+	default:
+		// Largest batch within the SLO (throughput increases with
+		// batch under the linear law).
+		best := 0
+		for _, b := range feasible {
+			if meets(b) {
+				best = b
+			}
+		}
+		return best
+	}
+	return 0
+}

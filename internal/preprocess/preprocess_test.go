@@ -1,0 +1,290 @@
+package preprocess
+
+import (
+	"runtime"
+	"testing"
+
+	"harvest/internal/datasets"
+	"harvest/internal/hw"
+	"harvest/internal/imaging"
+	"harvest/internal/stats"
+)
+
+func testItems(t *testing.T, slug string, n int) []Item {
+	t.Helper()
+	spec, err := datasets.ByName(slug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := datasets.MustNew(spec, 42)
+	items := make([]Item, n)
+	for i := range items {
+		items[i], err = ItemFromDataset(ds, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return items
+}
+
+func TestCPUEngineMaterializesNormalizedTensors(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 3)
+	e := &CPUEngine{Platform: hw.A100(), Out: 64, Materialize: true}
+	res, err := e.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tensors) != 3 {
+		t.Fatalf("got %d tensors", len(res.Tensors))
+	}
+	for _, tensor := range res.Tensors {
+		if len(tensor) != 3*64*64 {
+			t.Fatalf("tensor length %d, want %d", len(tensor), 3*64*64)
+		}
+		for _, v := range tensor {
+			if v < -3 || v > 3 {
+				t.Fatalf("unnormalized value %v", v)
+			}
+		}
+	}
+	if res.Seconds <= 0 {
+		t.Error("no time reported")
+	}
+}
+
+func TestCPUEngineNoMaterialize(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 2)
+	e := &CPUEngine{Platform: hw.A100(), Out: 32}
+	res, err := e.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tensors != nil {
+		t.Error("tensors returned without Materialize")
+	}
+	if e.Name() != "PyTorch" || e.OutRes() != 32 {
+		t.Error("engine identity wrong")
+	}
+}
+
+func TestCPUEngineEmptyBatch(t *testing.T) {
+	e := &CPUEngine{Platform: hw.A100(), Out: 32}
+	if _, err := e.ProcessBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestCPUEngineScalesToPlatform(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 4)
+	fast := &CPUEngine{Platform: hw.A100(), Out: 32}
+	slow := &CPUEngine{Platform: hw.Jetson(), Out: 32}
+	rf, err := fast.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := slow.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jetson cores are ~2.2x slower; allow wide tolerance for host
+	// timing noise but require a clear ordering.
+	if rs.Seconds <= rf.Seconds {
+		t.Errorf("Jetson-scaled time %.4f not above cloud time %.4f", rs.Seconds, rf.Seconds)
+	}
+}
+
+func TestItemFromDatasetCarriesTask(t *testing.T) {
+	items := testItems(t, datasets.SlugCRSA, 1)
+	if items[0].Task != datasets.TaskPerspective {
+		t.Error("CRSA item lost its perspective task")
+	}
+	if items[0].W != 3840 || items[0].H != 2160 {
+		t.Errorf("CRSA item size %dx%d", items[0].W, items[0].H)
+	}
+}
+
+func TestPerspectiveItemProcessing(t *testing.T) {
+	// A moderately sized synthetic frame keeps the test fast while the
+	// full-res vs working-res warp cost difference stays measurable.
+	im := imaging.Synthesize(960, 540, imaging.KindSoil, stats.NewRNG(1))
+	item := Item{Decoded: im, W: im.W, H: im.H, Task: datasets.TaskPerspective}
+	py := &CPUEngine{Platform: hw.A100(), Out: 32, Materialize: true}
+	if _, err := py.ProcessBatch([]Item{item}); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	res, err := py.ProcessBatch([]Item{item})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tensors) != 1 || len(res.Tensors[0]) != 3*32*32 {
+		t.Fatal("perspective item produced wrong tensor")
+	}
+	cv := NewCV2Engine(hw.A100(), 32)
+	cv.Materialize = true
+	res2, err := cv.ProcessBatch([]Item{item})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Name() != "CV2" {
+		t.Errorf("CV2 engine name %q", cv.Name())
+	}
+	if len(res2.Tensors) != 1 {
+		t.Fatal("CV2 produced no tensor")
+	}
+	// Full-res warp must cost more than working-res warp.
+	if res2.Seconds <= res.Seconds {
+		t.Errorf("CV2 (%.5fs) not slower than PyTorch (%.5fs) on perspective input",
+			res2.Seconds, res.Seconds)
+	}
+}
+
+func TestDecodeItemErrors(t *testing.T) {
+	e := &CPUEngine{Platform: hw.A100(), Out: 32}
+	if _, err := e.ProcessBatch([]Item{{}}); err == nil {
+		t.Error("pixel-less item accepted")
+	}
+	if _, err := e.ProcessBatch([]Item{{Encoded: []byte("garbage"), Format: imaging.FormatJPEG}}); err == nil {
+		t.Error("corrupt encoding accepted")
+	}
+}
+
+func TestGPUEngineModeledSeconds(t *testing.T) {
+	items := testItems(t, datasets.SlugPlantVillage, 4)
+	e32 := &GPUEngine{Platform: hw.A100(), Out: 32}
+	e224 := &GPUEngine{Platform: hw.A100(), Out: 224}
+	r32, err := e32.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r224, err := e224.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r32.Seconds <= 0 || r224.Seconds <= r32.Seconds {
+		t.Errorf("DALI 224 (%.5f) not slower than DALI 32 (%.5f)", r224.Seconds, r32.Seconds)
+	}
+	if r32.Tensors != nil {
+		t.Error("GPU engine materialized without request")
+	}
+	if e224.Name() != "DALI 224" {
+		t.Errorf("GPU engine name %q", e224.Name())
+	}
+}
+
+func TestGPUEngineMaterialize(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 2)
+	e := &GPUEngine{Platform: hw.V100(), Out: 48, Materialize: true}
+	res, err := e.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tensors) != 2 || len(res.Tensors[0]) != 3*48*48 {
+		t.Fatal("materialized GPU tensors wrong")
+	}
+}
+
+func TestGPUEngineRequiresSizes(t *testing.T) {
+	e := &GPUEngine{Platform: hw.A100(), Out: 32}
+	if _, err := e.ProcessBatch([]Item{{Encoded: []byte("x")}}); err == nil {
+		t.Error("item without dimensions accepted")
+	}
+	if _, err := e.ProcessBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestGPUEngineDeviceBytes(t *testing.T) {
+	e := &GPUEngine{Platform: hw.A100(), Out: 224}
+	b1 := e.DeviceBytes(256*256, 1)
+	b64 := e.DeviceBytes(256*256, 64)
+	if b64 != 64*b1 {
+		t.Errorf("device bytes not linear in batch: %d vs %d", b64, 64*b1)
+	}
+	if b1 <= 0 {
+		t.Error("non-positive device bytes")
+	}
+}
+
+func TestGPUFasterThanCPUAtScale(t *testing.T) {
+	// The paper's central preprocessing finding: DALI beats CPU per
+	// image. Compare modeled GPU seconds vs real CPU seconds per image
+	// on Plant Village at 224.
+	items := testItems(t, datasets.SlugPlantVillage, 4)
+	gpu := &GPUEngine{Platform: hw.A100(), Out: 224}
+	cpu := &CPUEngine{Platform: hw.A100(), Out: 224}
+	rg, err := gpu.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := cpu.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Seconds >= rc.Seconds {
+		t.Errorf("GPU preprocessing (%.5fs) not faster than CPU (%.5fs)", rg.Seconds, rc.Seconds)
+	}
+}
+
+func TestCPUEngineWorkersProduceIdenticalTensors(t *testing.T) {
+	items := testItems(t, datasets.SlugPlantVillage, 6)
+	serial := &CPUEngine{Platform: hw.A100(), Out: 48, Materialize: true}
+	parallel := &CPUEngine{Platform: hw.A100(), Out: 48, Materialize: true, Workers: 4}
+	rs, err := serial.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Tensors) != len(rp.Tensors) {
+		t.Fatalf("tensor counts differ: %d vs %d", len(rs.Tensors), len(rp.Tensors))
+	}
+	for i := range rs.Tensors {
+		for j := range rs.Tensors[i] {
+			if rs.Tensors[i][j] != rp.Tensors[i][j] {
+				t.Fatalf("tensor %d differs at %d between serial and parallel", i, j)
+			}
+		}
+	}
+}
+
+func TestCPUEngineWorkersSpeedUpWallClock(t *testing.T) {
+	// Use CRSA-free medium images so per-item work dominates goroutine
+	// overhead; compare wall-clock (Seconds scales with it).
+	items := testItems(t, datasets.SlugPlantVillage, 8)
+	serial := &CPUEngine{Platform: hw.A100(), Out: 224}
+	parallel := &CPUEngine{Platform: hw.A100(), Out: 224, Workers: 4}
+	if _, err := serial.ProcessBatch(items); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	rs, err := serial.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled || runtime.GOMAXPROCS(0) < 2 {
+		// Race instrumentation distorts goroutine timing, and a
+		// single-CPU host cannot show a speedup; only require that
+		// parallelism is not catastrophically slower.
+		if rp.Seconds > rs.Seconds*2 {
+			t.Errorf("4 workers (%.4fs) far slower than 1 (%.4fs)", rp.Seconds, rs.Seconds)
+		}
+		return
+	}
+	if rp.Seconds >= rs.Seconds {
+		t.Errorf("4 workers (%.4fs) not faster than 1 (%.4fs)", rp.Seconds, rs.Seconds)
+	}
+}
+
+func TestCPUEngineWorkerErrorPropagates(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 3)
+	items = append(items, Item{Encoded: []byte("corrupt"), Format: imaging.FormatJPEG})
+	e := &CPUEngine{Platform: hw.A100(), Out: 32, Workers: 4}
+	if _, err := e.ProcessBatch(items); err == nil {
+		t.Error("corrupt item in parallel batch accepted")
+	}
+}

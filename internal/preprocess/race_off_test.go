@@ -1,0 +1,8 @@
+//go:build !race
+
+package preprocess
+
+// raceEnabled reports whether the race detector is active; timing
+// assertions relax under it because instrumentation distorts relative
+// goroutine costs.
+const raceEnabled = false

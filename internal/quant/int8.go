@@ -1,0 +1,93 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Int8Params holds the affine quantization parameters q = round(x/Scale)
+// + ZeroPoint for symmetric or asymmetric INT8 quantization.
+type Int8Params struct {
+	Scale     float32
+	ZeroPoint int32
+}
+
+// CalibrateInt8 derives asymmetric quantization parameters that map
+// [min(xs), max(xs)] onto [-128, 127].
+func CalibrateInt8(xs []float32) (Int8Params, error) {
+	if len(xs) == 0 {
+		return Int8Params{}, fmt.Errorf("quant: calibrating empty tensor")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	// Always include zero in the representable range so that padding
+	// and ReLU zeros survive quantization exactly.
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi == lo {
+		return Int8Params{Scale: 1}, nil
+	}
+	scale := (hi - lo) / 255
+	zp := int32(math.Round(float64(-128 - lo/scale)))
+	if zp < -128 {
+		zp = -128
+	}
+	if zp > 127 {
+		zp = 127
+	}
+	return Int8Params{Scale: scale, ZeroPoint: zp}, nil
+}
+
+// Quantize converts xs into int8 codes.
+func (p Int8Params) Quantize(xs []float32) []int8 {
+	out := make([]int8, len(xs))
+	for i, x := range xs {
+		q := math.Round(float64(x/p.Scale)) + float64(p.ZeroPoint)
+		if q < -128 {
+			q = -128
+		}
+		if q > 127 {
+			q = 127
+		}
+		out[i] = int8(q)
+	}
+	return out
+}
+
+// Dequantize reconstructs approximate float32 values.
+func (p Int8Params) Dequantize(qs []int8) []float32 {
+	out := make([]float32, len(qs))
+	for i, q := range qs {
+		out[i] = float32(int32(q)-p.ZeroPoint) * p.Scale
+	}
+	return out
+}
+
+// MaxError returns the worst-case reconstruction error of the
+// quantization grid, i.e. half the scale step.
+func (p Int8Params) MaxError() float32 { return p.Scale / 2 }
+
+// BytesPerValue reports storage cost per element for a precision name,
+// used by the memory model. Recognized: fp32, fp16, bf16, int8.
+func BytesPerValue(precision string) (int, error) {
+	switch precision {
+	case "fp32":
+		return 4, nil
+	case "fp16", "bf16":
+		return 2, nil
+	case "int8":
+		return 1, nil
+	}
+	return 0, fmt.Errorf("quant: unknown precision %q", precision)
+}

@@ -1,0 +1,147 @@
+// Package scaleout models data-parallel scale-out of the inference
+// backend across multiple GPUs — the paper's Table 1 nodes carry two
+// GPUs but its evaluation uses one, and §3 notes the backend "is
+// prepared for future scale-out through different parallelism
+// strategies". Replicated engines behind a least-loaded dispatcher are
+// simulated under open-loop Poisson load with the discrete-event
+// simulator, yielding throughput and queueing-latency distributions.
+package scaleout
+
+import (
+	"fmt"
+
+	"harvest/internal/engine"
+	"harvest/internal/hw"
+	"harvest/internal/sim"
+	"harvest/internal/stats"
+	"harvest/internal/workload"
+)
+
+// Config describes one scale-out simulation.
+type Config struct {
+	Platform *hw.Platform
+	Model    string
+	// Replicas is the number of data-parallel engine replicas (one per
+	// GPU). Each replica holds its own copy of the weights.
+	Replicas int
+	// Batch is the fused batch size each replica executes. 0 selects
+	// the replica's largest engine-only batch capped at 64 (scale-out
+	// replicas run without co-located GPU preprocessing).
+	Batch int
+	// OfferedBatchesPerSec is the open-loop arrival rate of batch
+	// requests.
+	OfferedBatchesPerSec float64
+	// HorizonSeconds is the simulated duration (default 30).
+	HorizonSeconds float64
+	// DispatchOverheadSeconds models the router/sync cost per batch
+	// (default 200us).
+	DispatchOverheadSeconds float64
+	Seed                    uint64
+}
+
+// Result summarizes the simulation.
+type Result struct {
+	Replicas         int
+	Batch            int
+	OfferedImgPerSec float64
+	// Throughput is completed images / horizon.
+	Throughput float64
+	// MeanLatencySeconds / P99LatencySeconds are request latencies
+	// including queueing.
+	MeanLatencySeconds float64
+	P99LatencySeconds  float64
+	// Utilization is replica busy time / (replicas * horizon).
+	Utilization float64
+	Completed   int
+}
+
+// Run simulates the configuration.
+func Run(cfg Config) (Result, error) {
+	if cfg.Platform == nil {
+		return Result{}, fmt.Errorf("scaleout: nil platform")
+	}
+	if cfg.Replicas <= 0 {
+		return Result{}, fmt.Errorf("scaleout: non-positive replicas %d", cfg.Replicas)
+	}
+	if cfg.OfferedBatchesPerSec <= 0 {
+		return Result{}, fmt.Errorf("scaleout: non-positive offered rate")
+	}
+	if cfg.HorizonSeconds <= 0 {
+		cfg.HorizonSeconds = 30
+	}
+	if cfg.DispatchOverheadSeconds == 0 {
+		cfg.DispatchOverheadSeconds = 200e-6
+	}
+	eng, err := engine.New(cfg.Platform, cfg.Model)
+	if err != nil {
+		return Result{}, err
+	}
+	batch := cfg.Batch
+	if batch == 0 {
+		batch = eng.MaxBatch(hw.EndToEndMaxBatch)
+	}
+	st, err := eng.Infer(batch)
+	if err != nil {
+		return Result{}, err
+	}
+	serviceTime := st.Seconds + cfg.DispatchOverheadSeconds
+
+	s := sim.New()
+	// A capacity-R resource with earliest-free assignment is exactly a
+	// least-loaded dispatcher over R identical replicas.
+	pool := sim.NewResource(s, "replicas", cfg.Replicas)
+	rng := stats.NewRNG(cfg.Seed)
+	trace := workload.PoissonTrace(rng, cfg.OfferedBatchesPerSec, cfg.HorizonSeconds, batch)
+
+	var latencies []float64
+	completed := 0
+	for _, a := range trace {
+		arrival := a.Time
+		s.Schedule(arrival, func() {
+			pool.Submit(serviceTime, func(_, end float64) {
+				// Only completions inside the measurement horizon
+				// count; work still queued at the horizon is backlog,
+				// not throughput.
+				if end > cfg.HorizonSeconds {
+					return
+				}
+				latencies = append(latencies, end-arrival)
+				completed++
+			})
+		})
+	}
+	s.Run()
+
+	res := Result{
+		Replicas:         cfg.Replicas,
+		Batch:            batch,
+		OfferedImgPerSec: cfg.OfferedBatchesPerSec * float64(batch),
+		Completed:        completed,
+		// Equal service times: utilization is completed work over
+		// replica-seconds within the horizon.
+		Utilization: float64(completed) * serviceTime / (float64(cfg.Replicas) * cfg.HorizonSeconds),
+	}
+	if completed > 0 {
+		res.Throughput = float64(completed*batch) / cfg.HorizonSeconds
+		res.MeanLatencySeconds = stats.Mean(latencies)
+		res.P99LatencySeconds = stats.Percentile(latencies, 99)
+	}
+	return res, nil
+}
+
+// SaturationSweep runs the configuration at increasing offered load
+// and returns one Result per rate, exposing where each replica count
+// saturates (the scale-out capacity curve).
+func SaturationSweep(cfg Config, rates []float64) ([]Result, error) {
+	out := make([]Result, 0, len(rates))
+	for _, r := range rates {
+		c := cfg
+		c.OfferedBatchesPerSec = r
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"harvest/internal/engine"
+	"harvest/internal/hw"
+	"harvest/internal/models"
+	"harvest/internal/tensor"
+)
+
+// failingBackend simulates a crashed real-compute backend.
+type failingBackend struct{ calls int }
+
+func (f *failingBackend) Forward(*tensor.Tensor) (*tensor.Tensor, error) {
+	f.calls++
+	return nil, errors.New("backend crashed")
+}
+
+func TestBackendFailurePropagatesToAllFusedRequests(t *testing.T) {
+	eng, err := engine.New(hw.A100(), models.NameViTTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &failingBackend{}
+	eng.Real = fb
+	s := newTestServer(t, ModelConfig{
+		Name: "crash", Engine: eng, MaxBatch: 16,
+		QueueDelay: 20 * time.Millisecond, InputSize: 32,
+	})
+	in := make([]float32, 3*32*32)
+	var wg sync.WaitGroup
+	failures := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), &Request{Model: "crash", Inputs: [][]float32{in}})
+			failures <- err
+		}()
+	}
+	wg.Wait()
+	close(failures)
+	for err := range failures {
+		if err == nil {
+			t.Error("request succeeded despite backend crash")
+		} else if !strings.Contains(err.Error(), "backend crashed") {
+			t.Errorf("error lost its cause: %v", err)
+		}
+	}
+	// The batcher must keep running after the failure.
+	if _, err := s.Submit(context.Background(), &Request{Model: "crash", Items: 2}); err != nil {
+		t.Errorf("server wedged after backend failure: %v", err)
+	}
+}
+
+func TestSlowClientContextTimeout(t *testing.T) {
+	eng, err := engine.New(hw.A100(), models.NameViTTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A very long batching window holds the request in the queue.
+	s := newTestServer(t, ModelConfig{
+		Name: "slow", Engine: eng, MaxBatch: 64, QueueDelay: 10 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = s.Submit(ctx, &Request{Model: "slow", Items: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expected deadline exceeded, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("timeout did not fire promptly")
+	}
+}
+
+func TestMalformedHTTPRequests(t *testing.T) {
+	s := newTestServer(t, tinyConfig(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"POST", "/v2/models/ViT_Tiny/infer", "{not json", http.StatusBadRequest},
+		{"POST", "/v2/models/ViT_Tiny/infer", `{"items": -5}`, http.StatusBadRequest},
+		{"POST", "/v2/models//infer", `{"items": 1}`, http.StatusNotFound},
+		{"POST", "/v2/models/ViT_Tiny/predict", `{"items": 1}`, http.StatusNotFound},
+		{"GET", "/v2/models/ghost/stats", "", http.StatusNotFound},
+		{"GET", "/v2/models/ViT_Tiny/wrong", "", http.StatusNotFound},
+	}
+	for i, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("case %d (%s %s): status %d, want %d",
+				i, c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t, tinyConfig(t))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Infer(ctx, models.NameViTTiny,
+			InferRequestJSON{ID: fmt.Sprintf("q%d", i), Items: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.Stats(ctx, models.NameViTTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestsServed != 6 {
+		t.Errorf("stats served %d items, want 6", st.RequestsServed)
+	}
+	if st.BatchesRun < 1 || st.BatchesRun > 3 {
+		t.Errorf("stats batches %d", st.BatchesRun)
+	}
+	if _, err := client.Stats(ctx, "ghost"); err == nil {
+		t.Error("stats for unknown model succeeded")
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1") // nothing listens here
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if client.Ready(ctx) {
+		t.Error("dead server reported ready")
+	}
+	if err := client.WaitReady(ctx); err == nil {
+		t.Error("WaitReady succeeded against dead server")
+	}
+	if _, err := client.Models(ctx); err == nil {
+		t.Error("Models succeeded against dead server")
+	}
+	if _, err := client.Infer(ctx, "m", InferRequestJSON{Items: 1}); err == nil {
+		t.Error("Infer succeeded against dead server")
+	}
+	if _, err := client.Stats(ctx, "m"); err == nil {
+		t.Error("Stats succeeded against dead server")
+	}
+}
+
+func TestOOMViaOversizedExplicitMaxBatch(t *testing.T) {
+	// A config whose MaxBatch exceeds the engine's memory limit lets a
+	// fused batch OOM at execution time; the error must reach every
+	// caller and the server must survive.
+	eng, err := engine.New(hw.Jetson(), models.NameViTBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, ModelConfig{
+		Name: "oom", Engine: eng, MaxBatch: 128, // engine limit is 8
+		QueueDelay: 20 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), &Request{Model: "oom", Items: 16})
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, engine.ErrOOM) {
+			t.Errorf("expected OOM, got %v", err)
+		}
+	}
+	// Small request still works afterwards.
+	if _, err := s.Submit(context.Background(), &Request{Model: "oom", Items: 4}); err != nil {
+		t.Errorf("server wedged after OOM: %v", err)
+	}
+}

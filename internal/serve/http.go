@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// HTTP wire types, loosely following the Triton KServe v2 layout.
+
+// InferRequestJSON is the POST body of /v2/models/{name}/infer.
+type InferRequestJSON struct {
+	ID string `json:"id,omitempty"`
+	// Items is the number of images in the request.
+	Items int `json:"items"`
+	// Inputs optionally carries flattened CHW tensors for real-compute
+	// models.
+	Inputs [][]float32 `json:"inputs,omitempty"`
+}
+
+// InferResponseJSON is the response body.
+type InferResponseJSON struct {
+	ID             string      `json:"id,omitempty"`
+	Model          string      `json:"model"`
+	Items          int         `json:"items"`
+	BatchSize      int         `json:"batch_size"`
+	QueueMs        float64     `json:"queue_ms"`
+	ComputeMs      float64     `json:"compute_ms"`
+	Outputs        [][]float32 `json:"outputs,omitempty"`
+	Classification []int       `json:"classification,omitempty"`
+}
+
+// ModelListJSON is the response of GET /v2/models.
+type ModelListJSON struct {
+	Models []string `json:"models"`
+}
+
+// StatsJSON is the response of GET /v2/models/{name}/stats.
+type StatsJSON struct {
+	Model          string  `json:"model"`
+	RequestsServed int64   `json:"requests_served"`
+	BatchesRun     int64   `json:"batches_run"`
+	MeanBatchFill  float64 `json:"mean_batch_fill"`
+}
+
+// errorJSON is the error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// Handler exposes the server over HTTP:
+//
+//	GET  /v2/health/ready
+//	GET  /v2/models
+//	POST /v2/models/{name}/infer
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/health/ready", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v2/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ModelListJSON{Models: s.Models()})
+	})
+	mux.HandleFunc("GET /v2/models/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v2/models/")
+		name, action, ok := strings.Cut(rest, "/")
+		if !ok || action != "stats" || name == "" {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: "not found"})
+			return
+		}
+		st, err := s.StatsFor(name)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, StatsJSON{
+			Model:          st.Model,
+			RequestsServed: st.RequestsServed,
+			BatchesRun:     st.BatchesRun,
+			MeanBatchFill:  st.MeanBatchFill,
+		})
+	})
+	mux.HandleFunc("POST /v2/models/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v2/models/")
+		name, action, ok := strings.Cut(rest, "/")
+		if !ok || action != "infer" || name == "" {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: "not found"})
+			return
+		}
+		var body InferRequestJSON
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+			return
+		}
+		resp, err := s.Submit(r.Context(), &Request{
+			ID: body.ID, Model: name, Items: body.Items, Inputs: body.Inputs,
+		})
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrUnknownModel):
+				status = http.StatusNotFound
+			case errors.Is(err, ErrEmptyRequest), errors.Is(err, ErrTooManyItems):
+				status = http.StatusBadRequest
+			case errors.Is(err, ErrServerClosed):
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, errorJSON{Error: err.Error()})
+			return
+		}
+		out := InferResponseJSON{
+			ID:        resp.ID,
+			Model:     resp.Model,
+			Items:     resp.Items,
+			BatchSize: resp.BatchSize,
+			QueueMs:   resp.QueueSeconds * 1000,
+			ComputeMs: resp.ComputeSeconds * 1000,
+			Outputs:   resp.Outputs,
+		}
+		for _, logits := range resp.Outputs {
+			out.Classification = append(out.Classification, argmax(logits))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	return mux
+}
+
+func argmax(xs []float32) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more we can do.
+		_ = err
+	}
+}
+
+// FormatInferPath returns the infer endpoint path for a model.
+func FormatInferPath(model string) string {
+	return fmt.Sprintf("/v2/models/%s/infer", model)
+}

@@ -1,0 +1,416 @@
+// Package serve implements the HARVEST backend request orchestration
+// layer — the NVIDIA Triton Server analogue of paper §3: a model
+// repository hosting per-model engine instances behind dynamic
+// batchers, with a decoupled frontend (in-process API here, HTTP in
+// http.go) that transmits input data and generates backend requests.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/engine"
+	"harvest/internal/trace"
+)
+
+// serveEpoch anchors wall-clock trace timestamps.
+var serveEpoch = time.Now()
+
+// Errors returned by the server.
+var (
+	ErrUnknownModel  = errors.New("serve: unknown model")
+	ErrServerClosed  = errors.New("serve: server closed")
+	ErrTooManyItems  = errors.New("serve: request exceeds model max batch")
+	ErrEmptyRequest  = errors.New("serve: request has no items")
+	ErrDuplicateName = errors.New("serve: model already registered")
+)
+
+// Request is one inference request from the frontend. Items counts the
+// images in the request; Inputs optionally carries real tensors for
+// models with a real compute backend.
+type Request struct {
+	ID     string
+	Model  string
+	Items  int
+	Inputs [][]float32
+}
+
+// Response reports the outcome of a request.
+type Response struct {
+	ID    string
+	Model string
+	Items int
+	// QueueSeconds is real wall time spent in the dynamic batcher.
+	QueueSeconds float64
+	// ComputeSeconds is the modeled engine time of the batch the
+	// request was folded into.
+	ComputeSeconds float64
+	// BatchSize is the size of the fused batch that served the request.
+	BatchSize int
+	// Outputs holds per-image logits when the model has a real backend.
+	Outputs [][]float32
+}
+
+// ModelConfig configures one served model.
+type ModelConfig struct {
+	Name string
+	// Engine provides (modeled) performance and memory limits.
+	Engine *engine.Engine
+	// MaxBatch caps the dynamic batcher's fused batch size. 0 means
+	// use the engine's memory-derived max batch.
+	MaxBatch int
+	// QueueDelay is the dynamic batching window: how long the batcher
+	// waits for more requests before dispatching a partial batch.
+	QueueDelay time.Duration
+	// Instances is the number of parallel engine instances (paper §5:
+	// multi-instance strategies). Default 1.
+	Instances int
+	// InputSize is required when Engine.Real is set, to validate and
+	// shape real tensor inputs.
+	InputSize int
+	// TimeScale makes instances really sleep TimeScale * modeled
+	// seconds, so closed-loop clients observe platform-like pacing.
+	// 0 disables sleeping (tests, max-speed experiments).
+	TimeScale float64
+	// Trace, when non-nil, receives one span per executed batch
+	// (wall-clock, track = model name) with queue/batch metadata.
+	Trace *trace.Recorder
+}
+
+type pending struct {
+	req      *Request
+	enqueued time.Time
+	done     chan *Response
+	err      chan error
+}
+
+type modelRuntime struct {
+	cfg      ModelConfig
+	queue    chan *pending
+	closed   chan struct{}
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+	served   atomic.Int64
+	batches  atomic.Int64
+}
+
+// Stats summarizes a model runtime's activity.
+type Stats struct {
+	Model          string
+	RequestsServed int64
+	BatchesRun     int64
+	// MeanBatchFill is served items per batch divided by max batch.
+	MeanBatchFill float64
+}
+
+// Server is the inference server.
+type Server struct {
+	mu     sync.Mutex
+	models map[string]*modelRuntime
+	closed bool
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{models: make(map[string]*modelRuntime)}
+}
+
+// Register adds a model to the repository and starts its batcher and
+// instance goroutines.
+func (s *Server) Register(cfg ModelConfig) error {
+	if cfg.Name == "" || cfg.Engine == nil {
+		return fmt.Errorf("serve: model config needs a name and an engine")
+	}
+	if cfg.Instances <= 0 {
+		cfg.Instances = 1
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = cfg.Engine.MaxBatch(0)
+	}
+	if cfg.MaxBatch <= 0 {
+		return fmt.Errorf("serve: model %s does not fit on %s at any batch size",
+			cfg.Name, cfg.Engine.Platform.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	if _, ok := s.models[cfg.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateName, cfg.Name)
+	}
+	rt := &modelRuntime{
+		cfg:    cfg,
+		queue:  make(chan *pending, 1024),
+		closed: make(chan struct{}),
+	}
+	s.models[cfg.Name] = rt
+
+	batches := make(chan []*pending, cfg.Instances*2)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		rt.batcherLoop(batches)
+	}()
+	for i := 0; i < cfg.Instances; i++ {
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			rt.instanceLoop(batches)
+		}()
+	}
+	return nil
+}
+
+// batcherLoop implements dynamic batching: it fuses queued requests
+// until the fused batch reaches MaxBatch items or QueueDelay elapses
+// since the first request.
+func (rt *modelRuntime) batcherLoop(batches chan<- []*pending) {
+	defer close(batches)
+	for {
+		var first *pending
+		select {
+		case p := <-rt.queue:
+			first = p
+		case <-rt.closed:
+			// Dispatch anything already queued, then exit.
+			for {
+				select {
+				case p := <-rt.queue:
+					batches <- []*pending{p}
+				default:
+					return
+				}
+			}
+		}
+		batch := []*pending{first}
+		items := first.req.Items
+		deadline := time.NewTimer(rt.cfg.QueueDelay)
+	fill:
+		for items < rt.cfg.MaxBatch {
+			select {
+			case p := <-rt.queue:
+				if items+p.req.Items > rt.cfg.MaxBatch {
+					// Dispatch current batch; start the next with p.
+					batches <- batch
+					batch = []*pending{p}
+					items = p.req.Items
+					if !deadline.Stop() {
+						<-deadline.C
+					}
+					deadline.Reset(rt.cfg.QueueDelay)
+					continue
+				}
+				batch = append(batch, p)
+				items += p.req.Items
+			case <-deadline.C:
+				break fill
+			case <-rt.closed:
+				// Shutdown: dispatch what we have immediately.
+				break fill
+			}
+		}
+		deadline.Stop()
+		batches <- batch
+	}
+}
+
+// instanceLoop executes fused batches on one engine instance.
+func (rt *modelRuntime) instanceLoop(batches <-chan []*pending) {
+	for batch := range batches {
+		rt.runBatch(batch)
+	}
+}
+
+func (rt *modelRuntime) runBatch(batch []*pending) {
+	items := 0
+	var inputs [][]float32
+	for _, p := range batch {
+		items += p.req.Items
+		inputs = append(inputs, p.req.Inputs...)
+	}
+	var stats engine.InferStats
+	var outputs [][]float32
+	var err error
+	if rt.cfg.Engine.Real != nil && len(inputs) > 0 {
+		outputs, stats, err = rt.cfg.Engine.InferTensors(inputs, rt.cfg.InputSize)
+	} else {
+		stats, err = rt.cfg.Engine.Infer(items)
+	}
+	if err == nil && rt.cfg.TimeScale > 0 {
+		time.Sleep(time.Duration(stats.Seconds * rt.cfg.TimeScale * float64(time.Second)))
+	}
+	if rt.cfg.Trace != nil {
+		end := time.Since(serveEpoch).Seconds()
+		dur := stats.Seconds
+		rt.cfg.Trace.Add(trace.Span{
+			Name:     fmt.Sprintf("batch(%d reqs, %d imgs)", len(batch), items),
+			Track:    rt.cfg.Name,
+			Start:    end - dur,
+			Duration: dur,
+			Args: map[string]any{
+				"requests": len(batch),
+				"items":    items,
+				"failed":   err != nil,
+			},
+		})
+	}
+	rt.batches.Add(1)
+	now := time.Now()
+	outOff := 0
+	for _, p := range batch {
+		if err != nil {
+			p.err <- fmt.Errorf("serve: model %s: %w", rt.cfg.Name, err)
+			continue
+		}
+		resp := &Response{
+			ID:             p.req.ID,
+			Model:          rt.cfg.Name,
+			Items:          p.req.Items,
+			QueueSeconds:   now.Sub(p.enqueued).Seconds() - stats.Seconds*rt.cfg.TimeScale,
+			ComputeSeconds: stats.Seconds,
+			BatchSize:      items,
+		}
+		if resp.QueueSeconds < 0 {
+			resp.QueueSeconds = 0
+		}
+		if outputs != nil && len(p.req.Inputs) > 0 {
+			resp.Outputs = outputs[outOff : outOff+len(p.req.Inputs)]
+			outOff += len(p.req.Inputs)
+		}
+		rt.served.Add(int64(p.req.Items))
+		p.done <- resp
+	}
+}
+
+// Submit sends a request and blocks until its response, the context's
+// cancellation, or server shutdown.
+func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
+	if req.Items <= 0 && len(req.Inputs) == 0 {
+		return nil, ErrEmptyRequest
+	}
+	if req.Items == 0 {
+		req.Items = len(req.Inputs)
+	}
+	s.mu.Lock()
+	rt, ok := s.models[req.Model]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrServerClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, req.Model)
+	}
+	if req.Items > rt.cfg.MaxBatch {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyItems, req.Items, rt.cfg.MaxBatch)
+	}
+	p := &pending{
+		req:      req,
+		enqueued: time.Now(),
+		done:     make(chan *Response, 1),
+		err:      make(chan error, 1),
+	}
+	select {
+	case rt.queue <- p:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-rt.closed:
+		return nil, ErrServerClosed
+	}
+	select {
+	case resp := <-p.done:
+		return resp, nil
+	case err := <-p.err:
+		return nil, err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-rt.closed:
+		// Shutdown: prefer a response that raced in, else fail.
+		select {
+		case resp := <-p.done:
+			return resp, nil
+		case err := <-p.err:
+			return nil, err
+		default:
+			return nil, ErrServerClosed
+		}
+	}
+}
+
+// Models lists registered model names.
+func (s *Server) Models() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.models))
+	for name := range s.models {
+		out = append(out, name)
+	}
+	return out
+}
+
+// ModelConfigFor returns the configuration of a registered model.
+func (s *Server) ModelConfigFor(name string) (ModelConfig, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt, ok := s.models[name]
+	if !ok {
+		return ModelConfig{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return rt.cfg, nil
+}
+
+// StatsFor returns activity counters for a model.
+func (s *Server) StatsFor(name string) (Stats, error) {
+	s.mu.Lock()
+	rt, ok := s.models[name]
+	s.mu.Unlock()
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	st := Stats{
+		Model:          name,
+		RequestsServed: rt.served.Load(),
+		BatchesRun:     rt.batches.Load(),
+	}
+	if st.BatchesRun > 0 && rt.cfg.MaxBatch > 0 {
+		st.MeanBatchFill = float64(st.RequestsServed) / float64(st.BatchesRun) / float64(rt.cfg.MaxBatch)
+	}
+	return st, nil
+}
+
+// Close stops all batchers and instances, failing queued requests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	rts := make([]*modelRuntime, 0, len(s.models))
+	for _, rt := range s.models {
+		rts = append(rts, rt)
+	}
+	s.mu.Unlock()
+	drain := func(rt *modelRuntime) {
+		// Fail anything that slipped into the queue after the batcher
+		// exited; submitters also observe rt.closed.
+		for {
+			select {
+			case p := <-rt.queue:
+				p.err <- ErrServerClosed
+			default:
+				return
+			}
+		}
+	}
+	for _, rt := range rts {
+		close(rt.closed)
+		rt.wg.Wait()
+		drain(rt)
+	}
+}

@@ -1,0 +1,94 @@
+// Package sim is a small discrete-event simulator used to model the
+// overlapped execution of the HARVEST inference pipeline (preprocessing,
+// host-device transfer and engine inference proceeding concurrently on
+// different resources), which is the mechanism behind the paper's
+// Fig. 8 end-to-end results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  int64 // tie-breaker preserving schedule order
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation with a virtual clock in seconds.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// New returns an empty simulation at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Schedule runs fn after delay seconds of virtual time. Negative delays
+// are clamped to zero (run "now", after currently executing events).
+func (s *Sim) Schedule(delay float64, fn func()) {
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, &event{time: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run processes events until none remain and returns the final time.
+func (s *Sim) Run() float64 {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.time < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", e.time, s.now))
+		}
+		s.now = e.time
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil processes events with time <= t, then advances the clock to
+// t. Remaining events stay queued.
+func (s *Sim) RunUntil(t float64) {
+	for s.events.Len() > 0 && s.events[0].time <= t {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.time
+		e.fn()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }

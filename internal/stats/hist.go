@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin 1-D histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count out-of-range observations.
+	Under, Over int
+	total       int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	if v < h.Lo {
+		h.Under++
+		return
+	}
+	if v >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Density returns normalized bin heights integrating to ~1 over [Lo,Hi).
+func (h *Histogram) Density() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		out[i] = float64(c) / (float64(h.total) * w)
+	}
+	return out
+}
+
+// Hist2D is a fixed-bin 2-D histogram, used for the width x height image
+// size densities of Fig. 4.
+type Hist2D struct {
+	XLo, XHi, YLo, YHi float64
+	XBins, YBins       int
+	Counts             []int // row-major: y*XBins + x
+	total              int
+}
+
+// NewHist2D creates a 2-D histogram.
+func NewHist2D(xlo, xhi float64, xbins int, ylo, yhi float64, ybins int) *Hist2D {
+	if xbins <= 0 || ybins <= 0 || xhi <= xlo || yhi <= ylo {
+		panic("stats: invalid hist2d parameters")
+	}
+	return &Hist2D{XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi,
+		XBins: xbins, YBins: ybins, Counts: make([]int, xbins*ybins)}
+}
+
+// Add records an (x, y) observation; out-of-range points are clamped to
+// the boundary bins so no mass is lost.
+func (h *Hist2D) Add(x, y float64) {
+	h.total++
+	xi := int((x - h.XLo) / (h.XHi - h.XLo) * float64(h.XBins))
+	yi := int((y - h.YLo) / (h.YHi - h.YLo) * float64(h.YBins))
+	if xi < 0 {
+		xi = 0
+	}
+	if xi >= h.XBins {
+		xi = h.XBins - 1
+	}
+	if yi < 0 {
+		yi = 0
+	}
+	if yi >= h.YBins {
+		yi = h.YBins - 1
+	}
+	h.Counts[yi*h.XBins+xi]++
+}
+
+// Total returns the number of observations.
+func (h *Hist2D) Total() int { return h.total }
+
+// Mode returns the (x, y) center of the fullest cell.
+func (h *Hist2D) Mode() (float64, float64) {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	xi, yi := best%h.XBins, best/h.XBins
+	xw := (h.XHi - h.XLo) / float64(h.XBins)
+	yw := (h.YHi - h.YLo) / float64(h.YBins)
+	return h.XLo + (float64(xi)+0.5)*xw, h.YLo + (float64(yi)+0.5)*yw
+}
+
+// DensityAt returns the normalized density of the cell containing (x,y).
+func (h *Hist2D) DensityAt(x, y float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	xi := int((x - h.XLo) / (h.XHi - h.XLo) * float64(h.XBins))
+	yi := int((y - h.YLo) / (h.YHi - h.YLo) * float64(h.YBins))
+	if xi < 0 || xi >= h.XBins || yi < 0 || yi >= h.YBins {
+		return 0
+	}
+	xw := (h.XHi - h.XLo) / float64(h.XBins)
+	yw := (h.YHi - h.YLo) / float64(h.YBins)
+	return float64(h.Counts[yi*h.XBins+xi]) / (float64(h.total) * xw * yw)
+}
+
+// KDE1D evaluates a Gaussian kernel density estimate of samples at each
+// of the points, with the given bandwidth. Used to produce the smooth
+// density curves of Fig. 4.
+func KDE1D(samples, points []float64, bandwidth float64) []float64 {
+	if bandwidth <= 0 {
+		bandwidth = SilvermanBandwidth(samples)
+	}
+	out := make([]float64, len(points))
+	if len(samples) == 0 {
+		return out
+	}
+	norm := 1 / (float64(len(samples)) * bandwidth * math.Sqrt(2*math.Pi))
+	for i, p := range points {
+		acc := 0.0
+		for _, s := range samples {
+			z := (p - s) / bandwidth
+			acc += math.Exp(-0.5 * z * z)
+		}
+		out[i] = acc * norm
+	}
+	return out
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth.
+func SilvermanBandwidth(samples []float64) float64 {
+	n := len(samples)
+	if n < 2 {
+		return 1
+	}
+	sd := StdDev(samples)
+	if sd == 0 {
+		return 1
+	}
+	return 1.06 * sd * math.Pow(float64(n), -0.2)
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.Std = StdDev(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.P50 = Percentile(xs, 50)
+	s.P90 = Percentile(xs, 90)
+	s.P95 = Percentile(xs, 95)
+	s.P99 = Percentile(xs, 99)
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P95, s.P99, s.Max)
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramMassConservation(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	vals := []float64{-1, 0, 1, 2.5, 5, 9.999, 10, 42}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	inRange := 0
+	for _, c := range h.Counts {
+		inRange += c
+	}
+	if got := inRange + h.Under + h.Over; got != len(vals) {
+		t.Fatalf("mass not conserved: %d of %d", got, len(vals))
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d, want 1 and 2", h.Under, h.Over)
+	}
+	if h.Total() != len(vals) {
+		t.Errorf("Total() = %d, want %d", h.Total(), len(vals))
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 50; i++ {
+		h.Add(35) // bin 3, center 35
+	}
+	h.Add(5)
+	if m := h.Mode(); m != 35 {
+		t.Errorf("mode %v, want 35", m)
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	h := NewHistogram(0, 1, 20)
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		h.Add(r.Float64())
+	}
+	dens := h.Density()
+	w := 1.0 / 20
+	integral := 0.0
+	for _, d := range dens {
+		integral += d * w
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("density integral %v, want 1", integral)
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHist2D(0, 0, 4, 0, 1, 4) },
+		func() { NewHist2D(0, 1, 0, 0, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid histogram params")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHist2DModeAndClamping(t *testing.T) {
+	h := NewHist2D(0, 400, 40, 0, 400, 40)
+	for i := 0; i < 100; i++ {
+		h.Add(233, 233)
+	}
+	h.Add(-5, 1000) // clamped, not lost
+	mx, my := h.Mode()
+	if math.Abs(mx-235) > 10 || math.Abs(my-235) > 10 {
+		t.Errorf("2d mode (%v,%v), want near (233,233)", mx, my)
+	}
+	if h.Total() != 101 {
+		t.Errorf("total %d, want 101", h.Total())
+	}
+	if d := h.DensityAt(233, 233); d <= 0 {
+		t.Errorf("density at mode %v, want > 0", d)
+	}
+	if d := h.DensityAt(-10, -10); d != 0 {
+		t.Errorf("density outside range %v, want 0", d)
+	}
+}
+
+func TestKDE1DIntegratesToOne(t *testing.T) {
+	r := NewRNG(2)
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = r.NormFloat64()
+	}
+	// Integrate the KDE over a wide grid.
+	const lo, hi, n = -8.0, 8.0, 400
+	points := make([]float64, n)
+	for i := range points {
+		points[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	dens := KDE1D(samples, points, 0)
+	integral := 0.0
+	for i := 1; i < n; i++ {
+		integral += (dens[i] + dens[i-1]) / 2 * (points[i] - points[i-1])
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("KDE integral %v, want ~1", integral)
+	}
+}
+
+func TestKDE1DEmptyAndPeak(t *testing.T) {
+	if out := KDE1D(nil, []float64{0, 1}, 1); out[0] != 0 || out[1] != 0 {
+		t.Error("KDE of empty sample should be zero")
+	}
+	// A spike of identical samples peaks at the spike.
+	samples := []float64{5, 5, 5, 5}
+	d := KDE1D(samples, []float64{0, 5, 10}, 1)
+	if !(d[1] > d[0] && d[1] > d[2]) {
+		t.Errorf("KDE not peaked at sample location: %v", d)
+	}
+}
+
+func TestSilvermanBandwidth(t *testing.T) {
+	if b := SilvermanBandwidth([]float64{1}); b != 1 {
+		t.Errorf("degenerate bandwidth %v, want 1", b)
+	}
+	if b := SilvermanBandwidth([]float64{3, 3, 3}); b != 1 {
+		t.Errorf("zero-variance bandwidth %v, want 1", b)
+	}
+	xs := make([]float64, 100)
+	r := NewRNG(3)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	b := SilvermanBandwidth(xs)
+	if b <= 0 || b > 2 {
+		t.Errorf("suspicious bandwidth %v for standard normal n=100", b)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile %v, want 0", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("interpolated P50 = %v, want 5", got)
+	}
+	if got := Percentile(xs, 75); got != 7.5 {
+		t.Errorf("interpolated P75 = %v, want 7.5", got)
+	}
+}
+
+func TestPercentileQuickWithinBounds(t *testing.T) {
+	f := func(raw []float64, p8 uint8) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(p8) / 255 * 100
+		v := Percentile(xs, p)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return v >= sorted[0] && v <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("bad summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary %+v", empty)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate mean/std wrong")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean %v, want 5", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 1e-12 {
+		t.Errorf("std %v, want 2", sd)
+	}
+}

@@ -1,0 +1,149 @@
+// Package stitch implements the offline UAS workflow substrate of the
+// paper's Fig. 3a: drone images are stitched into an orthomosaic
+// (OpenDroneMap's role in the paper), then tiled for the HARVEST
+// inference pipeline.
+package stitch
+
+import (
+	"fmt"
+
+	"harvest/internal/imaging"
+)
+
+// Grid holds drone captures arranged as a flight grid with a known
+// overlap in pixels between adjacent captures.
+type Grid struct {
+	Rows, Cols int
+	// Overlap is the pixel overlap between adjacent tiles (both axes).
+	Overlap int
+	// Tiles is row-major, all the same size.
+	Tiles []*imaging.Image
+}
+
+// NewGrid validates and wraps a capture grid.
+func NewGrid(rows, cols, overlap int, tiles []*imaging.Image) (*Grid, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("stitch: invalid grid %dx%d", rows, cols)
+	}
+	if len(tiles) != rows*cols {
+		return nil, fmt.Errorf("stitch: got %d tiles for %dx%d grid", len(tiles), rows, cols)
+	}
+	w, h := tiles[0].W, tiles[0].H
+	for i, t := range tiles {
+		if t.W != w || t.H != h {
+			return nil, fmt.Errorf("stitch: tile %d is %dx%d, want %dx%d", i, t.W, t.H, w, h)
+		}
+	}
+	if overlap < 0 || overlap >= w || overlap >= h {
+		return nil, fmt.Errorf("stitch: overlap %d out of range for %dx%d tiles", overlap, w, h)
+	}
+	return &Grid{Rows: rows, Cols: cols, Overlap: overlap, Tiles: tiles}, nil
+}
+
+// Mosaic stitches the grid into one orthomosaic, feather-blending the
+// overlap bands so seams are smooth (a linear cross-fade, the standard
+// simple blend).
+func (g *Grid) Mosaic() *imaging.Image {
+	tw, th := g.Tiles[0].W, g.Tiles[0].H
+	stepX, stepY := tw-g.Overlap, th-g.Overlap
+	outW := stepX*(g.Cols-1) + tw
+	outH := stepY*(g.Rows-1) + th
+	// Accumulate weighted contributions.
+	acc := make([]float64, outW*outH*3)
+	wacc := make([]float64, outW*outH)
+
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			tile := g.Tiles[r*g.Cols+c]
+			ox, oy := c*stepX, r*stepY
+			for y := 0; y < th; y++ {
+				wy := featherWeight(y, th, g.Overlap, r > 0, r < g.Rows-1)
+				for x := 0; x < tw; x++ {
+					wx := featherWeight(x, tw, g.Overlap, c > 0, c < g.Cols-1)
+					wgt := wx * wy
+					di := (oy+y)*outW + ox + x
+					si := (y*tw + x) * 3
+					acc[di*3] += wgt * float64(tile.Pix[si])
+					acc[di*3+1] += wgt * float64(tile.Pix[si+1])
+					acc[di*3+2] += wgt * float64(tile.Pix[si+2])
+					wacc[di] += wgt
+				}
+			}
+		}
+	}
+	out := imaging.NewImage(outW, outH)
+	for i, wgt := range wacc {
+		if wgt <= 0 {
+			continue
+		}
+		for c := 0; c < 3; c++ {
+			v := acc[i*3+c] / wgt
+			if v > 255 {
+				v = 255
+			}
+			out.Pix[i*3+c] = uint8(v + 0.5)
+		}
+	}
+	return out
+}
+
+// featherWeight ramps linearly from 0 to 1 across the overlap band on
+// sides that have a neighbour, and is 1 elsewhere.
+func featherWeight(i, size, overlap int, hasPrev, hasNext bool) float64 {
+	w := 1.0
+	if hasPrev && i < overlap {
+		w = (float64(i) + 1) / float64(overlap+1)
+	}
+	if hasNext && i >= size-overlap {
+		wn := float64(size-i) / float64(overlap+1)
+		if wn < w {
+			w = wn
+		}
+	}
+	return w
+}
+
+// Tile is one inference tile cut from a mosaic.
+type Tile struct {
+	X, Y  int // tile grid coordinates
+	PixX  int // top-left pixel offset in the mosaic
+	PixY  int
+	Image *imaging.Image
+}
+
+// TileImage cuts the mosaic into size x size tiles with the given
+// stride (stride == size means non-overlapping). Partial edge tiles are
+// discarded, as the HARVEST offline pipeline does.
+func TileImage(m *imaging.Image, size, stride int) ([]Tile, error) {
+	if size <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("stitch: invalid tile size %d / stride %d", size, stride)
+	}
+	if m.W < size || m.H < size {
+		return nil, fmt.Errorf("stitch: mosaic %dx%d smaller than tile %d", m.W, m.H, size)
+	}
+	var out []Tile
+	ty := 0
+	for y := 0; y+size <= m.H; y += stride {
+		tx := 0
+		for x := 0; x+size <= m.W; x += stride {
+			t := imaging.NewImage(size, size)
+			for row := 0; row < size; row++ {
+				srcOff := ((y+row)*m.W + x) * 3
+				copy(t.Pix[row*size*3:(row+1)*size*3], m.Pix[srcOff:srcOff+size*3])
+			}
+			out = append(out, Tile{X: tx, Y: ty, PixX: x, PixY: y, Image: t})
+			tx++
+		}
+		ty++
+	}
+	return out, nil
+}
+
+// GridDims returns the tile-grid dimensions TileImage produces for a
+// mosaic of the given size.
+func GridDims(w, h, size, stride int) (cols, rows int) {
+	if size <= 0 || stride <= 0 || w < size || h < size {
+		return 0, 0
+	}
+	return (w-size)/stride + 1, (h-size)/stride + 1
+}

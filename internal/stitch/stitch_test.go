@@ -1,0 +1,176 @@
+package stitch
+
+import (
+	"testing"
+
+	"harvest/internal/imaging"
+	"harvest/internal/stats"
+)
+
+func uniformTiles(n int, w, h int, v uint8) []*imaging.Image {
+	out := make([]*imaging.Image, n)
+	for i := range out {
+		im := imaging.NewImage(w, h)
+		for j := range im.Pix {
+			im.Pix[j] = v
+		}
+		out[i] = im
+	}
+	return out
+}
+
+func TestNewGridValidation(t *testing.T) {
+	tiles := uniformTiles(4, 16, 16, 100)
+	if _, err := NewGrid(2, 2, 4, tiles); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGrid(0, 2, 4, tiles); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := NewGrid(2, 2, 4, tiles[:3]); err == nil {
+		t.Error("wrong tile count accepted")
+	}
+	if _, err := NewGrid(2, 2, 16, tiles); err == nil {
+		t.Error("overlap == tile size accepted")
+	}
+	mixed := uniformTiles(4, 16, 16, 100)
+	mixed[2] = imaging.NewImage(8, 8)
+	if _, err := NewGrid(2, 2, 4, mixed); err == nil {
+		t.Error("mismatched tile sizes accepted")
+	}
+}
+
+func TestMosaicDimensions(t *testing.T) {
+	g, err := NewGrid(2, 3, 4, uniformTiles(6, 16, 16, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Mosaic()
+	wantW := (16-4)*2 + 16 // 40
+	wantH := (16-4)*1 + 16 // 28
+	if m.W != wantW || m.H != wantH {
+		t.Errorf("mosaic %dx%d, want %dx%d", m.W, m.H, wantW, wantH)
+	}
+}
+
+func TestMosaicUniformBlendExact(t *testing.T) {
+	// Blending identical tiles must reproduce the constant value
+	// everywhere (feathering is a convex combination).
+	g, err := NewGrid(3, 3, 6, uniformTiles(9, 20, 20, 173))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Mosaic()
+	for i, p := range m.Pix {
+		if p != 173 {
+			t.Fatalf("pixel %d = %d, want 173", i, p)
+		}
+	}
+}
+
+func TestMosaicNoOverlapIsConcatenation(t *testing.T) {
+	a := imaging.NewImage(4, 4)
+	b := imaging.NewImage(4, 4)
+	for i := range a.Pix {
+		a.Pix[i] = 10
+		b.Pix[i] = 200
+	}
+	g, err := NewGrid(1, 2, 0, []*imaging.Image{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Mosaic()
+	if m.W != 8 || m.H != 4 {
+		t.Fatalf("mosaic %dx%d", m.W, m.H)
+	}
+	if r, _, _ := m.At(0, 0); r != 10 {
+		t.Error("left tile lost")
+	}
+	if r, _, _ := m.At(7, 3); r != 200 {
+		t.Error("right tile lost")
+	}
+}
+
+func TestTileImage(t *testing.T) {
+	src := imaging.Synthesize(64, 48, imaging.KindRows, stats.NewRNG(1))
+	tiles, err := TileImage(src, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows := GridDims(64, 48, 16, 16)
+	if cols != 4 || rows != 3 {
+		t.Fatalf("grid %dx%d", cols, rows)
+	}
+	if len(tiles) != 12 {
+		t.Fatalf("tiles %d", len(tiles))
+	}
+	// Tile contents match the source region.
+	for _, tile := range tiles {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				tr, tg, tb := tile.Image.At(x, y)
+				sr, sg, sb := src.At(tile.PixX+x, tile.PixY+y)
+				if tr != sr || tg != sg || tb != sb {
+					t.Fatalf("tile (%d,%d) pixel mismatch", tile.X, tile.Y)
+				}
+			}
+		}
+	}
+}
+
+func TestTileImageOverlappingStride(t *testing.T) {
+	src := imaging.Synthesize(32, 32, imaging.KindSoil, stats.NewRNG(2))
+	tiles, err := TileImage(src, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows := GridDims(32, 32, 16, 8)
+	if cols != 3 || rows != 3 || len(tiles) != 9 {
+		t.Errorf("overlapping tiling %dx%d with %d tiles", cols, rows, len(tiles))
+	}
+}
+
+func TestTileImageErrors(t *testing.T) {
+	src := imaging.NewImage(8, 8)
+	if _, err := TileImage(src, 0, 4); err == nil {
+		t.Error("zero tile size accepted")
+	}
+	if _, err := TileImage(src, 4, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := TileImage(src, 16, 16); err == nil {
+		t.Error("tile larger than mosaic accepted")
+	}
+	if c, r := GridDims(8, 8, 16, 16); c != 0 || r != 0 {
+		t.Error("GridDims should be 0 for oversized tiles")
+	}
+}
+
+func TestStitchThenTileRoundTrip(t *testing.T) {
+	// Integration: stitch a grid, tile it back at the capture step, and
+	// confirm interior (non-overlap) pixels survive.
+	rng := stats.NewRNG(3)
+	tiles := make([]*imaging.Image, 4)
+	for i := range tiles {
+		tiles[i] = imaging.Synthesize(20, 20, imaging.KindLeaf, rng.Split())
+	}
+	g, err := NewGrid(2, 2, 0, tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Mosaic()
+	back, err := TileImage(m, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("round trip gave %d tiles", len(back))
+	}
+	for i, tile := range back {
+		for j := range tile.Image.Pix {
+			if tile.Image.Pix[j] != tiles[i].Pix[j] {
+				t.Fatalf("tile %d pixel %d changed", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package tensor
+
+import (
+	"testing"
+
+	"harvest/internal/stats"
+)
+
+// conv2DNaive is a direct convolution reference.
+func conv2DNaive(x, w, bias *Tensor, stride, pad int) *Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outC, _, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (wd+2*pad-kw)/stride + 1
+	out := New(n, outC, oh, ow)
+	for b := 0; b < n; b++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc float32
+					for ic := 0; ic < c; ic++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := oy*stride - pad + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < kw; kx++ {
+								ix := ox*stride - pad + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								acc += x.At(b, ic, iy, ix) * w.At(oc, ic, ky, kx)
+							}
+						}
+					}
+					if bias != nil {
+						acc += bias.Data[oc]
+					}
+					out.Set(acc, b, oc, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	r := stats.NewRNG(1)
+	cases := []struct{ n, c, h, w, oc, k, stride, pad int }{
+		{1, 1, 5, 5, 1, 3, 1, 0},
+		{1, 1, 5, 5, 1, 3, 1, 1},
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{1, 3, 9, 9, 2, 3, 2, 1},
+		{1, 2, 12, 10, 3, 5, 2, 2},
+		{1, 4, 7, 7, 8, 1, 1, 0},
+		{1, 3, 16, 16, 4, 7, 2, 3}, // ResNet-style stem
+	}
+	for i, cs := range cases {
+		x := randTensor(r, cs.n, cs.c, cs.h, cs.w)
+		w := randTensor(r, cs.oc, cs.c, cs.k, cs.k)
+		bias := randTensor(r, cs.oc)
+		want := conv2DNaive(x, w, bias, cs.stride, cs.pad)
+		got := Conv2D(x, w, bias, cs.stride, cs.pad)
+		for d := range want.Shape {
+			if want.Shape[d] != got.Shape[d] {
+				t.Fatalf("case %d: shape %v, want %v", i, got.Shape, want.Shape)
+			}
+		}
+		if d := MaxAbsDiff(want, got); d > 1e-3 {
+			t.Errorf("case %d: conv deviates from naive by %v", i, d)
+		}
+	}
+}
+
+func TestConv2DNoBias(t *testing.T) {
+	r := stats.NewRNG(2)
+	x := randTensor(r, 1, 2, 6, 6)
+	w := randTensor(r, 3, 2, 3, 3)
+	want := conv2DNaive(x, w, nil, 1, 1)
+	got := Conv2D(x, w, nil, 1, 1)
+	if d := MaxAbsDiff(want, got); d > 1e-3 {
+		t.Errorf("no-bias conv deviates by %v", d)
+	}
+}
+
+func TestConv2DPanics(t *testing.T) {
+	x := New(1, 2, 4, 4)
+	w := New(1, 3, 3, 3) // channel mismatch
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("channel mismatch did not panic")
+			}
+		}()
+		Conv2D(x, w, nil, 1, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty output did not panic")
+			}
+		}()
+		Conv2D(New(1, 1, 2, 2), New(1, 1, 5, 5), nil, 1, 0)
+	}()
+}
+
+func TestMaxPool2DKnown(t *testing.T) {
+	x := New(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	y := MaxPool2D(x, 2, 2, 0)
+	if y.Shape[2] != 2 || y.Shape[3] != 2 {
+		t.Fatalf("pool shape %v", y.Shape)
+	}
+	want := []float32{5, 7, 13, 15}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Errorf("maxpool[%d] = %v, want %v", i, y.Data[i], v)
+		}
+	}
+}
+
+func TestMaxPool2DPadding(t *testing.T) {
+	x := New(1, 1, 3, 3)
+	x.Set(-1, 0, 0, 0, 0)
+	for i := range x.Data {
+		if x.Data[i] == 0 {
+			x.Data[i] = -2
+		}
+	}
+	// With pad 1 the padded border must not win (it is skipped, not
+	// treated as zero): the max of an all-negative image stays negative.
+	y := MaxPool2D(x, 3, 2, 1)
+	for _, v := range y.Data {
+		if v >= 0 {
+			t.Fatalf("padding leaked into maxpool: %v", v)
+		}
+	}
+}
+
+func TestGlobalAvgPool2D(t *testing.T) {
+	x := New(2, 2, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	y := GlobalAvgPool2D(x)
+	if y.Shape[0] != 2 || y.Shape[1] != 2 {
+		t.Fatalf("gap shape %v", y.Shape)
+	}
+	// First plane is 0,1,2,3 -> 1.5
+	if y.At(0, 0) != 1.5 {
+		t.Errorf("gap[0,0] = %v, want 1.5", y.At(0, 0))
+	}
+	if y.At(1, 1) != 13.5 {
+		t.Errorf("gap[1,1] = %v, want 13.5", y.At(1, 1))
+	}
+}

@@ -1,0 +1,163 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmBlock is the cache blocking factor for the K dimension.
+const gemmBlock = 64
+
+// MatMulNaive computes C = A(MxK) * B(KxN) with the textbook triple
+// loop. It is the reference implementation the optimized kernels are
+// tested against.
+func MatMulNaive(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			c.Data[i*n+j] = acc
+		}
+	}
+	return c
+}
+
+// MatMul computes C = A(MxK) * B(KxN) using a blocked i-k-j loop order
+// (streaming through B rows) parallelized across row bands.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	c := New(m, n)
+	GemmInto(c.Data, a.Data, b.Data, m, n, k)
+	return c
+}
+
+// GemmInto computes c += a*b on raw slices (c is assumed zeroed or to be
+// accumulated into), with a (m x k), b (k x n), c (m x n), row-major.
+func GemmInto(c, a, b []float32, m, n, k int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*n*k < 1<<15 {
+		gemmRows(c, a, b, 0, m, n, k)
+		return
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRows(c, a, b, lo, hi, n, k)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows computes rows [lo,hi) of c += a*b with K-blocking and an
+// i-k-j inner order so the inner loop is a saxpy over contiguous memory.
+func gemmRows(c, a, b []float32, lo, hi, n, k int) {
+	for kk := 0; kk < k; kk += gemmBlock {
+		kend := kk + gemmBlock
+		if kend > k {
+			kend = k
+		}
+		for i := lo; i < hi; i++ {
+			ci := c[i*n : i*n+n]
+			for p := kk; p < kend; p++ {
+				av := a[i*k+p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : p*n+n]
+				for j := range bp {
+					ci[j] += av * bp[j]
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransB computes C = A(MxK) * B^T where b is (N x K) row-major.
+// This layout is the natural one for linear layers whose weights are
+// stored (out_features x in_features).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransB inner dimension mismatch")
+	}
+	c := New(m, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	rowBand := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : i*k+k]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*k : j*k+k]
+				var acc float32
+				for p := range ai {
+					acc += ai[p] * bj[p]
+				}
+				c.Data[i*n+j] = acc
+			}
+		}
+	}
+	if workers <= 1 || m*n*k < 1<<15 {
+		rowBand(0, m)
+		return c
+	}
+	var wg sync.WaitGroup
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*rowsPer, (w+1)*rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) { defer wg.Done(); rowBand(lo, hi) }(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+// Linear applies y = x*W^T + bias for x (B x in), w (out x in),
+// bias (out) which may be nil.
+func Linear(x, w, bias *Tensor) *Tensor {
+	y := MatMulTransB(x, w)
+	if bias != nil {
+		n := y.Shape[1]
+		for i := 0; i < y.Shape[0]; i++ {
+			row := y.Data[i*n : i*n+n]
+			for j := range row {
+				row[j] += bias.Data[j]
+			}
+		}
+	}
+	return y
+}

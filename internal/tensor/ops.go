@@ -1,0 +1,160 @@
+package tensor
+
+import "math"
+
+// AddInPlace computes a += b elementwise.
+func AddInPlace(a, b *Tensor) {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// ReLU applies max(0, x) in place.
+func ReLU(t *Tensor) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// GELU applies the Gaussian error linear unit (tanh approximation, as
+// used by ViT) in place.
+func GELU(t *Tensor) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range t.Data {
+		x := float64(v)
+		t.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+}
+
+// SoftmaxRows applies a numerically-stable softmax to each row of a 2-D
+// tensor in place.
+func SoftmaxRows(t *Tensor) {
+	if len(t.Shape) != 2 {
+		panic("tensor: SoftmaxRows needs a 2-D tensor")
+	}
+	n := t.Shape[1]
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*n : i*n+n]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			row[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// LayerNorm normalizes each row of a 2-D tensor to zero mean / unit
+// variance and applies the affine parameters gamma and beta (len = row
+// width). eps guards the variance.
+func LayerNorm(t, gamma, beta *Tensor, eps float32) {
+	if len(t.Shape) != 2 {
+		panic("tensor: LayerNorm needs a 2-D tensor")
+	}
+	n := t.Shape[1]
+	for i := 0; i < t.Shape[0]; i++ {
+		row := t.Data[i*n : i*n+n]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		var varacc float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varacc += d * d
+		}
+		varacc /= float64(n)
+		inv := float32(1 / math.Sqrt(varacc+float64(eps)))
+		for j := range row {
+			row[j] = (row[j]-float32(mean))*inv*gamma.Data[j] + beta.Data[j]
+		}
+	}
+}
+
+// BatchNormInference applies per-channel y = (x-mean)/sqrt(var+eps) *
+// gamma + beta to an NCHW tensor, folding the statistics as TensorRT
+// would at engine build time.
+func BatchNormInference(t *Tensor, mean, variance, gamma, beta []float32, eps float32) {
+	if len(t.Shape) != 4 {
+		panic("tensor: BatchNormInference needs NCHW")
+	}
+	nBatch, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	plane := h * w
+	for b := 0; b < nBatch; b++ {
+		for ch := 0; ch < c; ch++ {
+			inv := float32(1 / math.Sqrt(float64(variance[ch])+float64(eps)))
+			scale := gamma[ch] * inv
+			shift := beta[ch] - mean[ch]*scale
+			base := (b*c + ch) * plane
+			px := t.Data[base : base+plane]
+			for i := range px {
+				px[i] = px[i]*scale + shift
+			}
+		}
+	}
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if len(t.Shape) != 2 {
+		panic("tensor: Transpose2D needs a 2-D tensor")
+	}
+	m, n := t.Shape[0], t.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Attention computes single-head scaled dot product attention for
+// q, k, v of shape (seq x dim) and returns (seq x dim).
+func Attention(q, k, v *Tensor) *Tensor {
+	dim := q.Shape[1]
+	scores := MatMulTransB(q, k) // (seq x seq)
+	scores.Scale(float32(1 / math.Sqrt(float64(dim))))
+	SoftmaxRows(scores)
+	return MatMul(scores, v)
+}
+
+// MeanRows returns the column-wise mean over rows of a 2-D tensor,
+// producing a (1 x n) tensor; used for pooled classifier heads.
+func MeanRows(t *Tensor) *Tensor {
+	m, n := t.Shape[0], t.Shape[1]
+	out := New(1, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j] += t.Data[i*n+j]
+		}
+	}
+	inv := float32(1 / float64(m))
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"harvest/internal/stats"
+)
+
+func TestAddInPlace(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	AddInPlace(a, b)
+	if a.Data[0] != 11 || a.Data[1] != 22 {
+		t.Errorf("AddInPlace = %v", a.Data)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	AddInPlace(a, New(3))
+}
+
+func TestScale(t *testing.T) {
+	a := FromSlice([]float32{1, -2, 3}, 3)
+	a.Scale(2)
+	if a.Data[0] != 2 || a.Data[1] != -4 || a.Data[2] != 6 {
+		t.Errorf("Scale = %v", a.Data)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	a := FromSlice([]float32{-1, 0, 2}, 3)
+	ReLU(a)
+	if a.Data[0] != 0 || a.Data[1] != 0 || a.Data[2] != 2 {
+		t.Errorf("ReLU = %v", a.Data)
+	}
+}
+
+func TestGELUKnownValues(t *testing.T) {
+	a := FromSlice([]float32{0, 1, -1, 10, -10}, 5)
+	GELU(a)
+	// GELU(0)=0, GELU(1)~0.8412, GELU(-1)~-0.1588, GELU(10)~10,
+	// GELU(-10)~0.
+	checks := []struct {
+		i    int
+		want float64
+		tol  float64
+	}{
+		{0, 0, 1e-6}, {1, 0.8412, 1e-3}, {2, -0.1588, 1e-3}, {3, 10, 1e-3}, {4, 0, 1e-3},
+	}
+	for _, c := range checks {
+		if math.Abs(float64(a.Data[c.i])-c.want) > c.tol {
+			t.Errorf("GELU[%d] = %v, want ~%v", c.i, a.Data[c.i], c.want)
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 1000, 1000, 1000}, 2, 3)
+	SoftmaxRows(x)
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			v := float64(x.At(r, c))
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax value out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Errorf("row %d softmax sums to %v", r, sum)
+		}
+	}
+	// Monotonic: larger logits get larger probability.
+	if !(x.At(0, 2) > x.At(0, 1) && x.At(0, 1) > x.At(0, 0)) {
+		t.Error("softmax not monotone in logits")
+	}
+	// Huge equal logits must not produce NaN (stability check) and be
+	// uniform.
+	if math.Abs(float64(x.At(1, 0))-1.0/3) > 1e-5 {
+		t.Errorf("stable softmax of equal logits = %v", x.At(1, 0))
+	}
+}
+
+func TestLayerNorm(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	gamma := New(4)
+	gamma.Fill(1)
+	beta := New(4)
+	LayerNorm(x, gamma, beta, 1e-6)
+	var mean, variance float64
+	for _, v := range x.Data {
+		mean += float64(v)
+	}
+	mean /= 4
+	for _, v := range x.Data {
+		variance += (float64(v) - mean) * (float64(v) - mean)
+	}
+	variance /= 4
+	if math.Abs(mean) > 1e-5 {
+		t.Errorf("layernorm mean %v, want 0", mean)
+	}
+	if math.Abs(variance-1) > 1e-3 {
+		t.Errorf("layernorm variance %v, want 1", variance)
+	}
+}
+
+func TestLayerNormAffine(t *testing.T) {
+	x := FromSlice([]float32{-1, 1}, 1, 2)
+	gamma := FromSlice([]float32{2, 2}, 2)
+	beta := FromSlice([]float32{5, 5}, 2)
+	LayerNorm(x, gamma, beta, 1e-6)
+	// normalized = [-1, 1]; affine -> [3, 7]
+	if math.Abs(float64(x.Data[0])-3) > 1e-3 || math.Abs(float64(x.Data[1])-7) > 1e-3 {
+		t.Errorf("affine layernorm = %v, want [3 7]", x.Data)
+	}
+}
+
+func TestBatchNormInference(t *testing.T) {
+	// One image, two channels, 2x2.
+	x := New(1, 2, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	mean := []float32{0, 0}
+	variance := []float32{1, 1}
+	gamma := []float32{1, 2}
+	beta := []float32{0, 1}
+	orig := x.Clone()
+	BatchNormInference(x, mean, variance, gamma, beta, 0)
+	// Channel 0 unchanged, channel 1 scaled by 2 plus 1.
+	for i := 0; i < 4; i++ {
+		if x.Data[i] != orig.Data[i] {
+			t.Errorf("channel 0 changed at %d", i)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		want := orig.Data[i]*2 + 1
+		if x.Data[i] != want {
+			t.Errorf("channel 1 at %d = %v, want %v", i, x.Data[i], want)
+		}
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := Transpose2D(x)
+	if y.Shape[0] != 3 || y.Shape[1] != 2 {
+		t.Fatalf("transpose shape %v", y.Shape)
+	}
+	if y.At(2, 1) != 6 || y.At(0, 1) != 4 {
+		t.Errorf("transpose values wrong: %v", y.Data)
+	}
+}
+
+func TestAttentionUniform(t *testing.T) {
+	// With identical keys, attention weights are uniform, so the output
+	// is the mean of the values.
+	seq, dim := 3, 4
+	q := New(seq, dim)
+	k := New(seq, dim) // zeros -> all scores equal
+	v := New(seq, dim)
+	for i := 0; i < seq; i++ {
+		for j := 0; j < dim; j++ {
+			v.Set(float32(i), i, j)
+		}
+	}
+	out := Attention(q, k, v)
+	for i := 0; i < seq; i++ {
+		for j := 0; j < dim; j++ {
+			if math.Abs(float64(out.At(i, j))-1) > 1e-5 { // mean of 0,1,2
+				t.Fatalf("uniform attention out[%d][%d] = %v, want 1", i, j, out.At(i, j))
+			}
+		}
+	}
+}
+
+func TestAttentionSelectsMatchingValue(t *testing.T) {
+	// A query strongly aligned with one key should return (nearly) that
+	// key's value.
+	seq, dim := 2, 4
+	q := New(seq, dim)
+	k := New(seq, dim)
+	v := New(seq, dim)
+	q.Set(50, 0, 0)
+	k.Set(1, 0, 0) // key 0 aligned with query 0
+	v.Set(7, 0, 0)
+	v.Set(-7, 1, 0)
+	out := Attention(q, k, v)
+	if out.At(0, 0) < 6.5 {
+		t.Errorf("attention did not select matching value: %v", out.At(0, 0))
+	}
+}
+
+func TestMeanRows(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	m := MeanRows(x)
+	if m.At(0, 0) != 2 || m.At(0, 1) != 3 {
+		t.Errorf("MeanRows = %v", m.Data)
+	}
+}
+
+func TestOpsPanicOnWrongRank(t *testing.T) {
+	three := New(2, 2, 2)
+	g := New(2)
+	for i, f := range []func(){
+		func() { SoftmaxRows(three) },
+		func() { LayerNorm(three, g, g, 1e-6) },
+		func() { BatchNormInference(New(2, 2), nil, nil, nil, nil, 0) },
+		func() { Transpose2D(three) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on wrong rank", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSoftmaxRandomizedStability(t *testing.T) {
+	r := stats.NewRNG(9)
+	x := New(16, 32)
+	x.RandInit(r, 100)
+	SoftmaxRows(x)
+	for _, v := range x.Data {
+		if math.IsNaN(float64(v)) || v < 0 || v > 1 {
+			t.Fatalf("softmax produced %v", v)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"harvest/internal/stats"
+)
+
+// TestConv2DLinearity checks conv(x+y) == conv(x) + conv(y) for random
+// small shapes — convolution is linear in its input.
+func TestConv2DLinearity(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := stats.NewRNG(uint64(seed))
+		c := 1 + r.Intn(3)
+		h := 4 + r.Intn(6)
+		wd := 4 + r.Intn(6)
+		oc := 1 + r.Intn(4)
+		k := 1 + 2*r.Intn(2) // 1 or 3
+		x := randTensor(r, 1, c, h, wd)
+		y := randTensor(r, 1, c, h, wd)
+		w := randTensor(r, oc, c, k, k)
+		sum := x.Clone()
+		AddInPlace(sum, y)
+		left := Conv2D(sum, w, nil, 1, k/2)
+		right := Conv2D(x, w, nil, 1, k/2)
+		AddInPlace(right, Conv2D(y, w, nil, 1, k/2))
+		return MaxAbsDiff(left, right) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConv2DShapeFormula checks the output shape against the standard
+// formula for random configurations.
+func TestConv2DShapeFormula(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := stats.NewRNG(uint64(seed))
+		h := 6 + r.Intn(10)
+		wd := 6 + r.Intn(10)
+		k := 1 + r.Intn(4)
+		stride := 1 + r.Intn(2)
+		pad := r.Intn(2)
+		if h+2*pad < k || wd+2*pad < k {
+			return true
+		}
+		x := New(1, 2, h, wd)
+		w := New(3, 2, k, k)
+		out := Conv2D(x, w, nil, stride, pad)
+		wantH := (h+2*pad-k)/stride + 1
+		wantW := (wd+2*pad-k)/stride + 1
+		return out.Shape[2] == wantH && out.Shape[3] == wantW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxPoolDominatesAvg checks max pooling >= global average for any
+// input (max of a set is at least its mean).
+func TestMaxPoolDominatesAvg(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := stats.NewRNG(uint64(seed))
+		x := randTensor(r, 1, 1, 8, 8)
+		pooled := MaxPool2D(x, 8, 8, 0) // one output: global max
+		avg := GlobalAvgPool2D(x)
+		return pooled.Data[0] >= avg.Data[0]-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderSortsSpans(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Span{Name: "b", Track: "t", Start: 2, Duration: 1})
+	r.Add(Span{Name: "a", Track: "t", Start: 0, Duration: 1})
+	spans := r.Spans()
+	if len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Errorf("spans not sorted: %+v", spans)
+	}
+	if r.Len() != 2 {
+		t.Errorf("len %d", r.Len())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Add(Span{Name: "x", Track: "t", Start: float64(i), Duration: 0.1})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("lost spans: %d", r.Len())
+	}
+}
+
+func TestWriteChromeFormat(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Span{Name: "batch 0", Track: "engine", Start: 0.001, Duration: 0.002,
+		Args: map[string]any{"batch": 64}})
+	r.Add(Span{Name: "batch 0", Track: "preprocess", Start: 0, Duration: 0.001})
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// 2 thread_name metadata + 2 spans.
+	if len(events) != 4 {
+		t.Fatalf("got %d events", len(events))
+	}
+	out := buf.String()
+	for _, want := range []string{`"ph":"X"`, `"ph":"M"`, "thread_name", "engine", "preprocess"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %q", want)
+		}
+	}
+	// Microsecond conversion: 0.002s -> 2000us.
+	found := false
+	for _, e := range events {
+		if e["dur"] == 2000.0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("duration not converted to microseconds")
+	}
+}
+
+func TestTrackBusy(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Span{Name: "a", Track: "gpu", Start: 0, Duration: 1})
+	r.Add(Span{Name: "b", Track: "gpu", Start: 2, Duration: 3})
+	r.Add(Span{Name: "c", Track: "cpu", Start: 0, Duration: 0.5})
+	busy := r.TrackBusy()
+	if busy["gpu"] != 4 || busy["cpu"] != 0.5 {
+		t.Errorf("busy %v", busy)
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	good := NewRecorder()
+	good.Add(Span{Name: "a", Track: "t", Start: 0, Duration: 1})
+	good.Add(Span{Name: "b", Track: "t", Start: 1, Duration: 1})
+	good.Add(Span{Name: "c", Track: "u", Start: 0.5, Duration: 1}) // other track may overlap
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid timeline rejected: %v", err)
+	}
+	bad := NewRecorder()
+	bad.Add(Span{Name: "a", Track: "t", Start: 0, Duration: 2})
+	bad.Add(Span{Name: "b", Track: "t", Start: 1, Duration: 1})
+	if err := bad.Validate(); err == nil {
+		t.Error("overlapping timeline accepted")
+	}
+	neg := NewRecorder()
+	neg.Add(Span{Name: "a", Track: "t", Start: 0, Duration: -1})
+	if err := neg.Validate(); err == nil {
+		t.Error("negative duration accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Package transfer models field-to-cloud data transmission for the
+// online scenario. Paper §2.2.1: "This setup presents challenges for
+// data transmission, especially when transmitting large image data to
+// the cloud. It would be beneficial to leverage advanced wireless
+// capabilities."
+//
+// The link models cover the radio technologies a farm deployment sees;
+// combined with real compressed image sizes (internal/imaging's actual
+// JPEG encoder), they answer the paper's implicit question: when does
+// shipping images to the cloud beat inferring on the edge?
+package transfer
+
+import (
+	"fmt"
+
+	"harvest/internal/imaging"
+)
+
+// Link models a wireless uplink.
+type Link struct {
+	Name string
+	// UplinkBitsPerSec is the sustained uplink goodput.
+	UplinkBitsPerSec float64
+	// RTTSeconds is the round-trip latency (request + response).
+	RTTSeconds float64
+	// PerMessageOverheadBytes covers framing/headers per image.
+	PerMessageOverheadBytes int
+}
+
+// Standard rural-connectivity link models.
+func LTE() Link {
+	return Link{Name: "LTE", UplinkBitsPerSec: 10e6, RTTSeconds: 0.05, PerMessageOverheadBytes: 400}
+}
+
+// FiveG returns a mid-band 5G uplink.
+func FiveG() Link {
+	return Link{Name: "5G", UplinkBitsPerSec: 50e6, RTTSeconds: 0.02, PerMessageOverheadBytes: 400}
+}
+
+// WiFi returns a farm-station 802.11ac uplink.
+func WiFi() Link {
+	return Link{Name: "WiFi", UplinkBitsPerSec: 120e6, RTTSeconds: 0.005, PerMessageOverheadBytes: 300}
+}
+
+// Satellite returns a LEO satellite uplink (remote-field fallback).
+func Satellite() Link {
+	return Link{Name: "Satellite", UplinkBitsPerSec: 5e6, RTTSeconds: 0.12, PerMessageOverheadBytes: 600}
+}
+
+// Links returns the four standard link models.
+func Links() []Link { return []Link{WiFi(), FiveG(), LTE(), Satellite()} }
+
+// TransmitSeconds returns the time to upload payloadBytes once,
+// including the round trip.
+func (l Link) TransmitSeconds(payloadBytes int) float64 {
+	bits := float64(payloadBytes+l.PerMessageOverheadBytes) * 8
+	return l.RTTSeconds + bits/l.UplinkBitsPerSec
+}
+
+// ThroughputImagesPerSec returns the steady-state upload rate for a
+// stream of images of the given size (pipelined, so RTT amortizes).
+func (l Link) ThroughputImagesPerSec(payloadBytes int) float64 {
+	bits := float64(payloadBytes+l.PerMessageOverheadBytes) * 8
+	return l.UplinkBitsPerSec / bits
+}
+
+// CompressedSize really encodes the image at the given JPEG quality
+// and returns the payload size in bytes.
+func CompressedSize(im *imaging.Image, quality int) (int, error) {
+	if quality < 1 || quality > 100 {
+		return 0, fmt.Errorf("transfer: quality %d outside [1,100]", quality)
+	}
+	var counter countWriter
+	if err := imaging.EncodeJPEG(&counter, im, quality); err != nil {
+		return 0, err
+	}
+	return counter.n, nil
+}
+
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+// OffloadDecision compares edge inference against cloud offload for
+// one image stream.
+type OffloadDecision struct {
+	Link          Link
+	PayloadBytes  int
+	EdgeLatency   float64 // seconds per image, on-device
+	CloudLatency  float64 // seconds per image: upload + cloud pipeline
+	UploadLatency float64
+	// EdgeWins is true when on-device inference has lower latency.
+	EdgeWins bool
+	// StreamBound is the upload-limited images/second of the link.
+	StreamBound float64
+}
+
+// DecideOffload compares per-image latency of edge inference vs
+// uploading to a cloud pipeline. edgeSeconds and cloudSeconds are the
+// respective per-image processing costs (from the platform models).
+func DecideOffload(link Link, payloadBytes int, edgeSeconds, cloudSeconds float64) OffloadDecision {
+	up := link.TransmitSeconds(payloadBytes)
+	d := OffloadDecision{
+		Link:          link,
+		PayloadBytes:  payloadBytes,
+		EdgeLatency:   edgeSeconds,
+		UploadLatency: up,
+		CloudLatency:  up + cloudSeconds,
+		StreamBound:   link.ThroughputImagesPerSec(payloadBytes),
+	}
+	d.EdgeWins = d.EdgeLatency <= d.CloudLatency
+	return d
+}

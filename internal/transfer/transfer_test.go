@@ -1,0 +1,103 @@
+package transfer
+
+import (
+	"math"
+	"testing"
+
+	"harvest/internal/imaging"
+	"harvest/internal/stats"
+)
+
+func TestLinkTransmitSeconds(t *testing.T) {
+	l := Link{Name: "test", UplinkBitsPerSec: 8e6, RTTSeconds: 0.01, PerMessageOverheadBytes: 0}
+	// 1 MB at 8 Mbit/s = 1 s, plus 10 ms RTT.
+	if got := l.TransmitSeconds(1_000_000); math.Abs(got-1.01) > 1e-9 {
+		t.Errorf("transmit %v, want 1.01", got)
+	}
+	// Overhead counts.
+	l.PerMessageOverheadBytes = 1000
+	if got := l.TransmitSeconds(0); math.Abs(got-(0.01+0.001)) > 1e-9 {
+		t.Errorf("overhead-only transmit %v", got)
+	}
+}
+
+func TestLinkThroughputIgnoresRTT(t *testing.T) {
+	l := Link{Name: "test", UplinkBitsPerSec: 80e6, RTTSeconds: 10, PerMessageOverheadBytes: 0}
+	// Pipelined: RTT does not bound throughput. 10 KB images at
+	// 80 Mbit/s -> 1000 img/s.
+	if got := l.ThroughputImagesPerSec(10_000); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("throughput %v, want 1000", got)
+	}
+}
+
+func TestStandardLinksOrdering(t *testing.T) {
+	links := Links()
+	if len(links) != 4 {
+		t.Fatalf("links %d", len(links))
+	}
+	// WiFi > 5G > LTE > Satellite on uplink.
+	for i := 1; i < len(links); i++ {
+		if links[i].UplinkBitsPerSec >= links[i-1].UplinkBitsPerSec {
+			t.Errorf("link %s not slower than %s", links[i].Name, links[i-1].Name)
+		}
+	}
+}
+
+func TestCompressedSizeRealEncoding(t *testing.T) {
+	im := imaging.Synthesize(128, 128, imaging.KindLeaf, stats.NewRNG(1))
+	hi, err := CompressedSize(im, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := CompressedSize(im, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("quality 95 (%d bytes) not larger than quality 20 (%d bytes)", hi, lo)
+	}
+	if lo <= 0 || hi >= 128*128*3 {
+		t.Errorf("implausible sizes: lo=%d hi=%d", lo, hi)
+	}
+	if _, err := CompressedSize(im, 0); err == nil {
+		t.Error("quality 0 accepted")
+	}
+	if _, err := CompressedSize(im, 101); err == nil {
+		t.Error("quality 101 accepted")
+	}
+}
+
+func TestDecideOffload(t *testing.T) {
+	link := Link{Name: "t", UplinkBitsPerSec: 10e6, RTTSeconds: 0.02, PerMessageOverheadBytes: 0}
+	// Fast edge: edge wins.
+	d := DecideOffload(link, 10_000, 0.005, 0.001)
+	if !d.EdgeWins {
+		t.Errorf("edge should win: %+v", d)
+	}
+	// Slow edge, tiny payload: cloud wins.
+	d = DecideOffload(link, 1_000, 0.5, 0.001)
+	if d.EdgeWins {
+		t.Errorf("cloud should win: %+v", d)
+	}
+	if d.CloudLatency != d.UploadLatency+0.001 {
+		t.Errorf("cloud latency %v inconsistent", d.CloudLatency)
+	}
+	if d.StreamBound <= 0 {
+		t.Error("stream bound missing")
+	}
+}
+
+func TestOffloadCrossoverWithLinkSpeed(t *testing.T) {
+	// The same workload flips from cloud-favored to edge-favored as
+	// the link degrades — the §2.2.1 transmission challenge.
+	payload := 50_000
+	edge, cloud := 0.02, 0.004
+	fast := DecideOffload(WiFi(), payload, edge, cloud)
+	slow := DecideOffload(Satellite(), payload, edge, cloud)
+	if fast.EdgeWins {
+		t.Errorf("WiFi should favor cloud: %+v", fast)
+	}
+	if !slow.EdgeWins {
+		t.Errorf("satellite should favor edge: %+v", slow)
+	}
+}

@@ -1,0 +1,127 @@
+// Package workload generates the request patterns of the paper's three
+// deployment scenarios (§2.2): Poisson open-loop traffic for online
+// inference, full-dataset batch sweeps for offline inference, and
+// fixed-FPS camera streams with deadlines for real-time inference.
+package workload
+
+import (
+	"fmt"
+
+	"harvest/internal/stats"
+)
+
+// Arrival is one request arrival in a generated trace.
+type Arrival struct {
+	// Time is the arrival offset in seconds from trace start.
+	Time float64
+	// Items is the number of images in the request.
+	Items int
+}
+
+// PoissonTrace generates open-loop arrivals with exponential
+// inter-arrival times at ratePerSec requests/second over the horizon,
+// each carrying itemsPerReq images. Used for the online scenario.
+func PoissonTrace(rng *stats.RNG, ratePerSec, horizonSec float64, itemsPerReq int) []Arrival {
+	if ratePerSec <= 0 || horizonSec <= 0 || itemsPerReq <= 0 {
+		return nil
+	}
+	var out []Arrival
+	t := 0.0
+	exp := stats.Exponential{Lambda: ratePerSec}
+	for {
+		t += exp.Sample(rng)
+		if t >= horizonSec {
+			return out
+		}
+		out = append(out, Arrival{Time: t, Items: itemsPerReq})
+	}
+}
+
+// FrameTrace generates a fixed-FPS camera stream of frames frames, one
+// image each. Used for the real-time ground-vehicle scenario.
+func FrameTrace(fps float64, frames int) []Arrival {
+	if fps <= 0 || frames <= 0 {
+		return nil
+	}
+	out := make([]Arrival, frames)
+	period := 1 / fps
+	for i := range out {
+		out[i] = Arrival{Time: float64(i) * period, Items: 1}
+	}
+	return out
+}
+
+// BatchTrace generates the offline scenario: all data available at time
+// zero, split into ceil(total/batch) requests of batch images (last one
+// smaller).
+func BatchTrace(totalItems, batch int) []Arrival {
+	if totalItems <= 0 || batch <= 0 {
+		return nil
+	}
+	var out []Arrival
+	for rem := totalItems; rem > 0; rem -= batch {
+		n := batch
+		if rem < batch {
+			n = rem
+		}
+		out = append(out, Arrival{Items: n})
+	}
+	return out
+}
+
+// TotalItems sums the items of a trace.
+func TotalItems(trace []Arrival) int {
+	t := 0
+	for _, a := range trace {
+		t += a.Items
+	}
+	return t
+}
+
+// SLOTracker accounts deadline hits and misses for real-time pipelines.
+type SLOTracker struct {
+	DeadlineSeconds float64
+	met, missed     int
+	worst           float64
+}
+
+// NewSLOTracker creates a tracker for the given deadline.
+func NewSLOTracker(deadlineSeconds float64) *SLOTracker {
+	return &SLOTracker{DeadlineSeconds: deadlineSeconds}
+}
+
+// Observe records one end-to-end latency.
+func (t *SLOTracker) Observe(latencySeconds float64) {
+	if latencySeconds <= t.DeadlineSeconds {
+		t.met++
+	} else {
+		t.missed++
+	}
+	if latencySeconds > t.worst {
+		t.worst = latencySeconds
+	}
+}
+
+// Met and Missed return the counters.
+func (t *SLOTracker) Met() int { return t.met }
+
+// Missed returns the number of deadline violations.
+func (t *SLOTracker) Missed() int { return t.missed }
+
+// MissRate returns the fraction of observations over deadline.
+func (t *SLOTracker) MissRate() float64 {
+	total := t.met + t.missed
+	if total == 0 {
+		return 0
+	}
+	return float64(t.missed) / float64(total)
+}
+
+// WorstSeconds returns the maximum observed latency.
+func (t *SLOTracker) WorstSeconds() float64 { return t.worst }
+
+// String summarizes the tracker.
+func (t *SLOTracker) String() string {
+	return fmt.Sprintf("deadline=%.1fms met=%d missed=%d missRate=%.2f%% worst=%.1fms",
+		t.DeadlineSeconds*1000, t.met, t.missed, t.MissRate()*100, t.worst*1000)
+}

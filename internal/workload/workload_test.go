@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"harvest/internal/stats"
+)
+
+func TestPoissonTraceRateAndOrdering(t *testing.T) {
+	rng := stats.NewRNG(1)
+	trace := PoissonTrace(rng, 100, 50, 2)
+	// ~100 req/s * 50 s = ~5000 arrivals.
+	if n := len(trace); n < 4500 || n > 5500 {
+		t.Errorf("trace length %d, want ~5000", n)
+	}
+	prev := -1.0
+	for i, a := range trace {
+		if a.Time <= prev {
+			t.Fatalf("arrival %d not strictly increasing", i)
+		}
+		if a.Time < 0 || a.Time >= 50 {
+			t.Fatalf("arrival %d time %v outside horizon", i, a.Time)
+		}
+		if a.Items != 2 {
+			t.Fatalf("arrival %d items %d", i, a.Items)
+		}
+		prev = a.Time
+	}
+}
+
+func TestPoissonTraceDegenerate(t *testing.T) {
+	rng := stats.NewRNG(2)
+	if PoissonTrace(rng, 0, 10, 1) != nil {
+		t.Error("zero rate should yield nil")
+	}
+	if PoissonTrace(rng, 10, 0, 1) != nil {
+		t.Error("zero horizon should yield nil")
+	}
+	if PoissonTrace(rng, 10, 10, 0) != nil {
+		t.Error("zero items should yield nil")
+	}
+}
+
+func TestFrameTrace(t *testing.T) {
+	trace := FrameTrace(30, 90)
+	if len(trace) != 90 {
+		t.Fatalf("frames %d", len(trace))
+	}
+	if trace[0].Time != 0 {
+		t.Error("first frame not at 0")
+	}
+	if math.Abs(trace[30].Time-1) > 1e-9 {
+		t.Errorf("frame 30 at %v, want 1s", trace[30].Time)
+	}
+	if FrameTrace(0, 5) != nil || FrameTrace(30, 0) != nil {
+		t.Error("degenerate frame traces should be nil")
+	}
+}
+
+func TestBatchTrace(t *testing.T) {
+	trace := BatchTrace(10, 4)
+	if len(trace) != 3 {
+		t.Fatalf("batches %d, want 3", len(trace))
+	}
+	if trace[0].Items != 4 || trace[1].Items != 4 || trace[2].Items != 2 {
+		t.Errorf("batch sizes %v", trace)
+	}
+	if TotalItems(trace) != 10 {
+		t.Errorf("total %d, want 10", TotalItems(trace))
+	}
+	for _, a := range trace {
+		if a.Time != 0 {
+			t.Error("offline batches should all arrive at time 0")
+		}
+	}
+	if BatchTrace(0, 4) != nil || BatchTrace(4, 0) != nil {
+		t.Error("degenerate batch traces should be nil")
+	}
+}
+
+func TestSLOTracker(t *testing.T) {
+	slo := NewSLOTracker(0.0167)
+	slo.Observe(0.010)
+	slo.Observe(0.016)
+	slo.Observe(0.020)
+	slo.Observe(0.050)
+	if slo.Met() != 2 || slo.Missed() != 2 {
+		t.Errorf("met=%d missed=%d", slo.Met(), slo.Missed())
+	}
+	if r := slo.MissRate(); math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("miss rate %v", r)
+	}
+	if w := slo.WorstSeconds(); w != 0.050 {
+		t.Errorf("worst %v", w)
+	}
+	if slo.String() == "" {
+		t.Error("empty tracker string")
+	}
+}
+
+func TestSLOTrackerEmpty(t *testing.T) {
+	slo := NewSLOTracker(0.1)
+	if slo.MissRate() != 0 {
+		t.Error("empty tracker miss rate nonzero")
+	}
+}
