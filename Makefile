@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrency-heavy packages (serving path + pipeline).
+race:
+	$(GO) test -race ./internal/serve/... ./internal/pipeline/...
+
+# The CI gate: tier-1 tests plus vet and the race suite.
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -72,4 +72,25 @@ func main() {
 		elapsed, float64(rec.Count())/elapsed, float64(rec.Count()**items)/elapsed)
 	fmt.Printf("latency ms: mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		s.Mean*1000, s.P50*1000, s.P95*1000, s.P99*1000, s.Max*1000)
+
+	// Server-side decomposition: how much of that latency was queueing
+	// in the dynamic batcher vs. batch execution (paper Fig. 6).
+	mctx, mcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer mcancel()
+	mj, err := client.Metrics(mctx)
+	if err != nil {
+		log.Printf("server metrics unavailable: %v", err)
+		return
+	}
+	for _, m := range mj.Models {
+		if m.Model != *model {
+			continue
+		}
+		fmt.Printf("server: requests=%d items=%d batches=%d errors=%d cancelled=%d\n",
+			m.Requests, m.Items, m.Batches, m.Errors, m.Cancelled)
+		fmt.Printf("server queue ms:   p50=%.2f p95=%.2f p99=%.2f\n",
+			m.QueueMs.P50Ms, m.QueueMs.P95Ms, m.QueueMs.P99Ms)
+		fmt.Printf("server compute ms: p50=%.2f p95=%.2f p99=%.2f\n",
+			m.ComputeMs.P50Ms, m.ComputeMs.P95Ms, m.ComputeMs.P99Ms)
+	}
 }

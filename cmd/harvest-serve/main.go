@@ -1,43 +1,53 @@
 // Command harvest-serve runs the HARVEST inference server (the Triton
 // analogue) over HTTP, hosting the four Table 3 models on a chosen
-// platform model.
+// platform model. On SIGINT/SIGTERM it shuts down gracefully: in-flight
+// HTTP requests finish, queued batcher work is dispatched and served
+// within the drain timeout, and the final per-model metrics are logged.
 //
 // Usage:
 //
 //	harvest-serve [-addr :8000] [-platform A100|V100|Jetson]
 //	              [-models ViT_Tiny,ResNet50] [-queue-delay 2ms]
-//	              [-instances 1] [-timescale 1.0]
+//	              [-instances 1] [-timescale 1.0] [-drain-timeout 5s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"harvest/internal/core"
 	"harvest/internal/hw"
+	"harvest/internal/serve"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("harvest-serve: ")
 	var (
-		addr       = flag.String("addr", ":8000", "listen address")
-		platform   = flag.String("platform", hw.KeyA100, "platform model: A100, V100 or Jetson")
-		modelsArg  = flag.String("models", "", "comma-separated model names (default all four)")
-		queueDelay = flag.Duration("queue-delay", 2*time.Millisecond, "dynamic batching window")
-		instances  = flag.Int("instances", 1, "engine instances per model")
-		timescale  = flag.Float64("timescale", 1.0, "fraction of modeled latency to really sleep (0 = none)")
+		addr         = flag.String("addr", ":8000", "listen address")
+		platform     = flag.String("platform", hw.KeyA100, "platform model: A100, V100 or Jetson")
+		modelsArg    = flag.String("models", "", "comma-separated model names (default all four)")
+		queueDelay   = flag.Duration("queue-delay", 2*time.Millisecond, "dynamic batching window")
+		instances    = flag.Int("instances", 1, "engine instances per model")
+		timescale    = flag.Float64("timescale", 1.0, "fraction of modeled latency to really sleep (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", serve.DefaultDrainTimeout,
+			"how long shutdown serves already-queued requests before failing stragglers")
 	)
 	flag.Parse()
 
 	cfg := core.DeploymentConfig{
-		Platform:   *platform,
-		QueueDelay: *queueDelay,
-		Instances:  *instances,
-		TimeScale:  *timescale,
+		Platform:     *platform,
+		QueueDelay:   *queueDelay,
+		Instances:    *instances,
+		TimeScale:    *timescale,
+		DrainTimeout: *drainTimeout,
 	}
 	if *modelsArg != "" {
 		for _, m := range strings.Split(*modelsArg, ",") {
@@ -48,7 +58,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 	for _, name := range srv.Models() {
 		mc, err := srv.ModelConfigFor(name)
 		if err != nil {
@@ -56,8 +65,32 @@ func main() {
 		}
 		log.Printf("registered %s (max batch %d, %d instance(s))", name, mc.MaxBatch, mc.Instances)
 	}
-	log.Printf("platform %s, serving on %s", *platform, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	log.Printf("platform %s, serving on %s (metrics at /v2/metrics)", *platform, *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		srv.Close()
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining HTTP then the batchers (timeout %s)", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+	for _, m := range srv.Metrics() {
+		log.Printf("%s: requests=%d items=%d batches=%d errors=%d cancelled=%d "+
+			"queue p50/p95/p99 = %.2f/%.2f/%.2f ms, compute p50/p95/p99 = %.2f/%.2f/%.2f ms",
+			m.Model, m.Requests, m.Items, m.Batches, m.Errors, m.Cancelled,
+			m.QueueLatency.P50*1000, m.QueueLatency.P95*1000, m.QueueLatency.P99*1000,
+			m.ComputeLatency.P50*1000, m.ComputeLatency.P95*1000, m.ComputeLatency.P99*1000)
 	}
 }

@@ -94,6 +94,23 @@ func main() {
 			rate, len(trace), rec.PercentileMs(50), rec.PercentileMs(95),
 			st.MeanBatchFill, float64(workload.TotalItems(trace))/elapsed)
 	}
+
+	// Server-side latency decomposition from GET /v2/metrics: the split
+	// of request latency into batcher queueing vs. batch execution that
+	// the paper's online scenario (Fig. 6) is characterized by.
+	mj, err := client.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver-side decomposition (GET /v2/metrics, all rates pooled):")
+	for _, m := range mj.Models {
+		fmt.Printf("%s: requests=%d items=%d batches=%d errors=%d\n",
+			m.Model, m.Requests, m.Items, m.Batches, m.Errors)
+		fmt.Printf("  queue ms:   p50=%7.2f  p95=%7.2f  p99=%7.2f\n",
+			m.QueueMs.P50Ms, m.QueueMs.P95Ms, m.QueueMs.P99Ms)
+		fmt.Printf("  compute ms: p50=%7.2f  p95=%7.2f  p99=%7.2f\n",
+			m.ComputeMs.P50Ms, m.ComputeMs.P95Ms, m.ComputeMs.P99Ms)
+	}
 	fmt.Println("\nas offered load rises, the dynamic batcher fuses more requests per batch:")
 	fmt.Println("throughput climbs toward the engine's saturated rate while per-request")
 	fmt.Println("latency grows by at most the batching window plus the larger batch time —")

@@ -95,6 +95,9 @@ type DeploymentConfig struct {
 	Instances int
 	// TimeScale: fraction of modeled latency instances really sleep.
 	TimeScale float64
+	// DrainTimeout bounds Close's graceful drain per model
+	// (default serve.DefaultDrainTimeout).
+	DrainTimeout time.Duration
 }
 
 // NewDeployment builds a running inference server hosting the
@@ -120,11 +123,12 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 			return nil, err
 		}
 		if err := srv.Register(serve.ModelConfig{
-			Name:       name,
-			Engine:     eng,
-			QueueDelay: cfg.QueueDelay,
-			Instances:  cfg.Instances,
-			TimeScale:  cfg.TimeScale,
+			Name:         name,
+			Engine:       eng,
+			QueueDelay:   cfg.QueueDelay,
+			Instances:    cfg.Instances,
+			TimeScale:    cfg.TimeScale,
+			DrainTimeout: cfg.DrainTimeout,
 		}); err != nil {
 			srv.Close()
 			return nil, err

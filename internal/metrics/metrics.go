@@ -8,9 +8,25 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"harvest/internal/stats"
 )
+
+// Counter is a monotonically increasing event counter, safe for
+// concurrent use. The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
 
 // LatencyRecorder accumulates latency observations (seconds). It is
 // safe for concurrent use.

@@ -122,3 +122,22 @@ func TestFigureRendering(t *testing.T) {
 		t.Error("missing point placeholder absent")
 	}
 }
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000+8*5 {
+		t.Errorf("counter %d, want %d", got, 8*1000+8*5)
+	}
+}

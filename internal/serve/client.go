@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -14,7 +15,19 @@ import (
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// MaxRetries bounds retry attempts for idempotent GETs (transport
+	// errors and 5xx responses). 0 means defaultMaxRetries; negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the initial backoff between retries, doubled per
+	// attempt. 0 means defaultRetryBackoff.
+	RetryBackoff time.Duration
 }
+
+const (
+	defaultMaxRetries   = 3
+	defaultRetryBackoff = 25 * time.Millisecond
+)
 
 // NewClient creates a client for the given base URL (e.g.
 // "http://127.0.0.1:8000").
@@ -23,6 +36,75 @@ func NewClient(baseURL string) *Client {
 		BaseURL: baseURL,
 		HTTP:    &http.Client{Timeout: 60 * time.Second},
 	}
+}
+
+// drainClose exhausts and closes a response body so the underlying
+// HTTP connection can be reused instead of torn down.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body)
+	body.Close()
+}
+
+// getJSON fetches path with bounded retry-with-backoff (safe: GETs are
+// idempotent) and decodes a 200 response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = defaultMaxRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("serve: GET %s: %w (last error: %v)", path, ctx.Err(), lastErr)
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		err := c.getJSONOnce(ctx, path, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var re *retryableError
+		if attempt >= retries || ctx.Err() != nil || !errors.As(err, &re) {
+			return err
+		}
+	}
+}
+
+// retryableError marks transport failures and 5xx responses.
+type retryableError struct{ err error }
+
+func (r *retryableError) Error() string { return r.err.Error() }
+func (r *retryableError) Unwrap() error { return r.err }
+
+func (c *Client) getJSONOnce(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return &retryableError{fmt.Errorf("serve: GET %s: %w", path, err)}
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("serve: GET %s: HTTP %d", path, resp.StatusCode)
+		if resp.StatusCode >= 500 {
+			return &retryableError{err}
+		}
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Ready reports whether the server's readiness probe succeeds.
@@ -35,8 +117,7 @@ func (c *Client) Ready(ctx context.Context) bool {
 	if err != nil {
 		return false
 	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
+	defer drainClose(resp.Body)
 	return resp.StatusCode == http.StatusOK
 }
 
@@ -56,20 +137,8 @@ func (c *Client) WaitReady(ctx context.Context) error {
 
 // Models lists the models served.
 func (c *Client) Models(ctx context.Context) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v2/models", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("serve: list models: HTTP %d", resp.StatusCode)
-	}
 	var out ModelListJSON
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.getJSON(ctx, "/v2/models", &out); err != nil {
 		return nil, err
 	}
 	return out.Models, nil
@@ -77,27 +146,24 @@ func (c *Client) Models(ctx context.Context) ([]string, error) {
 
 // Stats fetches a model's serving statistics.
 func (c *Client) Stats(ctx context.Context, model string) (*StatsJSON, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v2/models/"+model+"/stats", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("serve: stats for %s: HTTP %d", model, resp.StatusCode)
-	}
 	var out StatsJSON
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.getJSON(ctx, "/v2/models/"+model+"/stats", &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Infer submits one inference request.
+// Metrics fetches the per-model serving metrics of every model.
+func (c *Client) Metrics(ctx context.Context) (*MetricsJSON, error) {
+	var out MetricsJSON
+	if err := c.getJSON(ctx, "/v2/metrics", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Infer submits one inference request. Infer is not retried: POSTs are
+// not idempotent from the server's point of view.
 func (c *Client) Infer(ctx context.Context, model string, body InferRequestJSON) (*InferResponseJSON, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -113,7 +179,7 @@ func (c *Client) Infer(ctx context.Context, model string, body InferRequestJSON)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		var e errorJSON
 		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {

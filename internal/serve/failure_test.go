@@ -14,6 +14,7 @@ import (
 	"harvest/internal/engine"
 	"harvest/internal/hw"
 	"harvest/internal/models"
+	"harvest/internal/stats"
 	"harvest/internal/tensor"
 )
 
@@ -94,6 +95,7 @@ func TestMalformedHTTPRequests(t *testing.T) {
 	}{
 		{"POST", "/v2/models/ViT_Tiny/infer", "{not json", http.StatusBadRequest},
 		{"POST", "/v2/models/ViT_Tiny/infer", `{"items": -5}`, http.StatusBadRequest},
+		{"POST", "/v2/models/ViT_Tiny/infer", `{"items": 3, "inputs": [[0.1], [0.2]]}`, http.StatusBadRequest},
 		{"POST", "/v2/models//infer", `{"items": 1}`, http.StatusNotFound},
 		{"POST", "/v2/models/ViT_Tiny/predict", `{"items": 1}`, http.StatusNotFound},
 		{"GET", "/v2/models/ghost/stats", "", http.StatusNotFound},
@@ -132,8 +134,15 @@ func TestStatsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// requests_served is the deprecated wire alias for items served.
 	if st.RequestsServed != 6 {
-		t.Errorf("stats served %d items, want 6", st.RequestsServed)
+		t.Errorf("stats served %d items (deprecated field), want 6", st.RequestsServed)
+	}
+	if st.ItemsServed != 6 {
+		t.Errorf("stats served %d items, want 6", st.ItemsServed)
+	}
+	if st.Requests != 3 {
+		t.Errorf("stats served %d requests, want 3", st.Requests)
 	}
 	if st.BatchesRun < 1 || st.BatchesRun > 3 {
 		t.Errorf("stats batches %d", st.BatchesRun)
@@ -161,6 +170,108 @@ func TestClientAgainstDeadServer(t *testing.T) {
 	}
 	if _, err := client.Stats(ctx, "m"); err == nil {
 		t.Error("Stats succeeded against dead server")
+	}
+}
+
+// TestDrainTimeoutFailsStragglers verifies that Close's graceful drain
+// gives up after DrainTimeout: batches dispatched in time are served,
+// stragglers fail with ErrServerClosed, and Close still returns.
+func TestDrainTimeoutFailsStragglers(t *testing.T) {
+	eng, err := engine.New(hw.A100(), models.NameViTTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := models.NewViTModel(models.MicroViTConfig(4), stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each batch holds the single instance for ~80 ms, far past the
+	// 40 ms drain budget.
+	eng.Real = &slowBackend{inner: real, delay: 80 * time.Millisecond}
+	s := newTestServer(t, ModelConfig{
+		Name: "sluggish", Engine: eng, MaxBatch: 1, InputSize: 32,
+		QueueDelay: time.Millisecond, DrainTimeout: 40 * time.Millisecond,
+	})
+	in := make([]float32, 3*32*32)
+	const n = 8
+	var wg sync.WaitGroup
+	outcomes := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), &Request{Model: "sluggish", Inputs: [][]float32{in}})
+			outcomes <- err
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // first batch mid-execution
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the drain timeout")
+	}
+	wg.Wait()
+	close(outcomes)
+	served, failed := 0, 0
+	for err := range outcomes {
+		switch {
+		case err == nil:
+			served++
+		case errors.Is(err, ErrServerClosed):
+			failed++
+		default:
+			t.Errorf("unexpected outcome: %v", err)
+		}
+	}
+	if served == 0 {
+		t.Error("drain served nothing despite in-flight batches")
+	}
+	if failed == 0 {
+		t.Error("no straggler failed despite the expired drain timeout")
+	}
+	if served+failed != n {
+		t.Errorf("outcomes %d+%d != %d submissions", served, failed, n)
+	}
+}
+
+// TestCancelAfterDispatchStillGetsOutcome pins the claim semantics: a
+// context that ends after a batch has claimed the request waits for
+// the batch's outcome instead of abandoning an executing slot.
+func TestCancelAfterDispatchStillGetsOutcome(t *testing.T) {
+	eng, err := engine.New(hw.A100(), models.NameViTTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := models.NewViTModel(models.MicroViTConfig(4), stats.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Real = &slowBackend{inner: real, delay: 60 * time.Millisecond}
+	s := newTestServer(t, ModelConfig{
+		Name: "claimed", Engine: eng, MaxBatch: 4, InputSize: 32,
+		QueueDelay: time.Millisecond,
+	})
+	in := make([]float32, 3*32*32)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	resp, err := s.Submit(ctx, &Request{Model: "claimed", Inputs: [][]float32{in}})
+	if err != nil {
+		t.Fatalf("claimed request lost its outcome: %v", err)
+	}
+	if len(resp.Outputs) != 1 {
+		t.Errorf("outputs %v", resp.Outputs)
+	}
+	m, err := s.MetricsFor("claimed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cancelled != 0 {
+		t.Errorf("cancelled counter %d for a claimed request, want 0", m.Cancelled)
 	}
 }
 

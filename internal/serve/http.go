@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"harvest/internal/stats"
 )
 
 // HTTP wire types, loosely following the Triton KServe v2 layout.
@@ -39,10 +41,49 @@ type ModelListJSON struct {
 
 // StatsJSON is the response of GET /v2/models/{name}/stats.
 type StatsJSON struct {
-	Model          string  `json:"model"`
-	RequestsServed int64   `json:"requests_served"`
-	BatchesRun     int64   `json:"batches_run"`
-	MeanBatchFill  float64 `json:"mean_batch_fill"`
+	Model string `json:"model"`
+	// RequestsServed historically reported the number of served
+	// *images*, not requests, and keeps that meaning for wire
+	// compatibility.
+	//
+	// Deprecated: use ItemsServed for image counts and Requests for
+	// request counts.
+	RequestsServed int64 `json:"requests_served"`
+	// Requests counts requests completed successfully.
+	Requests int64 `json:"requests"`
+	// ItemsServed counts images in successfully served requests.
+	ItemsServed   int64   `json:"items_served"`
+	BatchesRun    int64   `json:"batches_run"`
+	MeanBatchFill float64 `json:"mean_batch_fill"`
+}
+
+// LatencySummaryJSON summarizes a latency distribution in
+// milliseconds.
+type LatencySummaryJSON struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ModelMetricsJSON is one model's entry in GET /v2/metrics.
+type ModelMetricsJSON struct {
+	Model      string             `json:"model"`
+	Requests   int64              `json:"requests"`
+	Items      int64              `json:"items"`
+	Batches    int64              `json:"batches"`
+	Errors     int64              `json:"errors"`
+	Cancelled  int64              `json:"cancelled"`
+	QueueDepth int64              `json:"queue_depth"`
+	QueueMs    LatencySummaryJSON `json:"queue_ms"`
+	ComputeMs  LatencySummaryJSON `json:"compute_ms"`
+}
+
+// MetricsJSON is the response of GET /v2/metrics.
+type MetricsJSON struct {
+	Models []ModelMetricsJSON `json:"models"`
 }
 
 // errorJSON is the error envelope.
@@ -54,6 +95,8 @@ type errorJSON struct {
 //
 //	GET  /v2/health/ready
 //	GET  /v2/models
+//	GET  /v2/metrics
+//	GET  /v2/models/{name}/stats
 //	POST /v2/models/{name}/infer
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -62,6 +105,13 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v2/models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ModelListJSON{Models: s.Models()})
+	})
+	mux.HandleFunc("GET /v2/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var out MetricsJSON
+		for _, m := range s.Metrics() {
+			out.Models = append(out.Models, metricsToJSON(m))
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /v2/models/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v2/models/")
@@ -77,7 +127,9 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, StatsJSON{
 			Model:          st.Model,
-			RequestsServed: st.RequestsServed,
+			RequestsServed: st.ItemsServed, // deprecated alias, see StatsJSON
+			Requests:       st.RequestsServed,
+			ItemsServed:    st.ItemsServed,
 			BatchesRun:     st.BatchesRun,
 			MeanBatchFill:  st.MeanBatchFill,
 		})
@@ -102,7 +154,8 @@ func (s *Server) Handler() http.Handler {
 			switch {
 			case errors.Is(err, ErrUnknownModel):
 				status = http.StatusNotFound
-			case errors.Is(err, ErrEmptyRequest), errors.Is(err, ErrTooManyItems):
+			case errors.Is(err, ErrEmptyRequest), errors.Is(err, ErrTooManyItems),
+				errors.Is(err, ErrItemsMismatch):
 				status = http.StatusBadRequest
 			case errors.Is(err, ErrServerClosed):
 				status = http.StatusServiceUnavailable
@@ -125,6 +178,30 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 	return mux
+}
+
+func metricsToJSON(m ModelMetrics) ModelMetricsJSON {
+	toMs := func(s stats.Summary) LatencySummaryJSON {
+		return LatencySummaryJSON{
+			Count:  s.N,
+			MeanMs: s.Mean * 1000,
+			P50Ms:  s.P50 * 1000,
+			P95Ms:  s.P95 * 1000,
+			P99Ms:  s.P99 * 1000,
+			MaxMs:  s.Max * 1000,
+		}
+	}
+	return ModelMetricsJSON{
+		Model:      m.Model,
+		Requests:   m.Requests,
+		Items:      m.Items,
+		Batches:    m.Batches,
+		Errors:     m.Errors,
+		Cancelled:  m.Cancelled,
+		QueueDepth: m.QueueDepth,
+		QueueMs:    toMs(m.QueueLatency),
+		ComputeMs:  toMs(m.ComputeLatency),
+	}
 }
 
 func argmax(xs []float32) int {

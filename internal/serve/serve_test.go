@@ -120,8 +120,11 @@ func TestDynamicBatchingFusesRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.RequestsServed != 2*n {
-		t.Errorf("served %d items, want %d", st.RequestsServed, 2*n)
+	if st.ItemsServed != 2*n {
+		t.Errorf("served %d items, want %d", st.ItemsServed, 2*n)
+	}
+	if st.RequestsServed != n {
+		t.Errorf("served %d requests, want %d", st.RequestsServed, n)
 	}
 	if st.BatchesRun >= n {
 		t.Errorf("ran %d batches for %d requests; batching ineffective", st.BatchesRun, n)
@@ -192,8 +195,11 @@ func TestMultiInstanceAndTimeScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.RequestsServed != 128 {
-		t.Errorf("served %d, want 128", st.RequestsServed)
+	if st.ItemsServed != 128 {
+		t.Errorf("served %d items, want 128", st.ItemsServed)
+	}
+	if st.RequestsServed != 16 {
+		t.Errorf("served %d requests, want 16", st.RequestsServed)
 	}
 }
 
@@ -374,8 +380,11 @@ func TestConcurrentSubmitStress(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		wantItems += int64(1 + i%4)
 	}
-	if st.RequestsServed != wantItems {
-		t.Errorf("request conservation violated: served %d items, want %d", st.RequestsServed, wantItems)
+	if st.ItemsServed != wantItems {
+		t.Errorf("item conservation violated: served %d items, want %d", st.ItemsServed, wantItems)
+	}
+	if st.RequestsServed != 200 {
+		t.Errorf("request conservation violated: served %d requests, want 200", st.RequestsServed)
 	}
 }
 

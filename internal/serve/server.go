@@ -9,11 +9,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"harvest/internal/engine"
+	"harvest/internal/metrics"
+	"harvest/internal/stats"
 	"harvest/internal/trace"
 )
 
@@ -26,12 +29,18 @@ var (
 	ErrServerClosed  = errors.New("serve: server closed")
 	ErrTooManyItems  = errors.New("serve: request exceeds model max batch")
 	ErrEmptyRequest  = errors.New("serve: request has no items")
+	ErrItemsMismatch = errors.New("serve: request items disagree with inputs")
 	ErrDuplicateName = errors.New("serve: model already registered")
 )
 
+// DefaultDrainTimeout bounds Close's graceful drain when
+// ModelConfig.DrainTimeout is zero.
+const DefaultDrainTimeout = 5 * time.Second
+
 // Request is one inference request from the frontend. Items counts the
 // images in the request; Inputs optionally carries real tensors for
-// models with a real compute backend.
+// models with a real compute backend. When both are set they must
+// agree: Items == len(Inputs).
 type Request struct {
 	ID     string
 	Model  string
@@ -44,7 +53,8 @@ type Response struct {
 	ID    string
 	Model string
 	Items int
-	// QueueSeconds is real wall time spent in the dynamic batcher.
+	// QueueSeconds is real wall time spent in the dynamic batcher,
+	// measured from enqueue to the batch's execution start.
 	QueueSeconds float64
 	// ComputeSeconds is the modeled engine time of the batch the
 	// request was folded into.
@@ -76,34 +86,92 @@ type ModelConfig struct {
 	// seconds, so closed-loop clients observe platform-like pacing.
 	// 0 disables sleeping (tests, max-speed experiments).
 	TimeScale float64
+	// DrainTimeout bounds how long Close waits for already-queued
+	// requests to be dispatched and served before failing stragglers.
+	// 0 means DefaultDrainTimeout; negative means no grace (fail
+	// queued work immediately).
+	DrainTimeout time.Duration
 	// Trace, when non-nil, receives one span per executed batch
 	// (wall-clock, track = model name) with queue/batch metadata.
 	Trace *trace.Recorder
 }
 
+// Lifecycle states of a pending request. The submitter and the batcher
+// race on the transition out of statePending: the batcher claims a
+// request for a dispatched batch, the submitter cancels it. Whoever
+// wins the CAS owns the slot, so a cancelled request never occupies a
+// dispatched batch slot and a claimed request always gets a response.
+const (
+	statePending int32 = iota
+	stateClaimed
+	stateCancelled
+)
+
 type pending struct {
 	req      *Request
 	enqueued time.Time
+	state    atomic.Int32
 	done     chan *Response
 	err      chan error
+}
+
+// claim attempts to take ownership of the pending for batch dispatch.
+func (p *pending) claim() bool {
+	return p.state.CompareAndSwap(statePending, stateClaimed)
+}
+
+// cancel attempts to withdraw the pending before dispatch.
+func (p *pending) cancel() bool {
+	return p.state.CompareAndSwap(statePending, stateCancelled)
+}
+
+// modelMetrics aggregates per-model serving observability, built on
+// internal/metrics primitives. Counters and recorders are individually
+// thread-safe; snapshots are eventually consistent.
+type modelMetrics struct {
+	requests   metrics.Counter // requests completed successfully
+	items      metrics.Counter // images served in successful requests
+	batches    metrics.Counter // fused batches executed
+	errors     metrics.Counter // requests failed by the backend or shutdown
+	cancelled  metrics.Counter // requests evicted before dispatch
+	queueLat   metrics.LatencyRecorder
+	computeLat metrics.LatencyRecorder
+}
+
+// ModelMetrics is a point-in-time snapshot of a model's serving
+// metrics. Latency summaries are in seconds.
+type ModelMetrics struct {
+	Model          string
+	Requests       int64
+	Items          int64
+	Batches        int64
+	Errors         int64
+	Cancelled      int64
+	QueueDepth     int64
+	QueueLatency   stats.Summary
+	ComputeLatency stats.Summary
 }
 
 type modelRuntime struct {
 	cfg      ModelConfig
 	queue    chan *pending
-	closed   chan struct{}
+	closing  chan struct{} // closed to start graceful drain
+	abort    chan struct{} // closed when the drain timeout expires
+	drained  chan struct{} // closed when shutdown has failed all stragglers
 	wg       sync.WaitGroup
-	inflight atomic.Int64
-	served   atomic.Int64
-	batches  atomic.Int64
+	inflight atomic.Int64 // requests enqueued but not yet dispatched/evicted
+	met      modelMetrics
 }
 
 // Stats summarizes a model runtime's activity.
 type Stats struct {
-	Model          string
+	Model string
+	// RequestsServed counts requests completed successfully.
 	RequestsServed int64
-	BatchesRun     int64
-	// MeanBatchFill is served items per batch divided by max batch.
+	// ItemsServed counts images in successfully served requests.
+	ItemsServed int64
+	BatchesRun  int64
+	// MeanBatchFill is mean served items per batch divided by MaxBatch.
 	MeanBatchFill float64
 }
 
@@ -135,6 +203,9 @@ func (s *Server) Register(cfg ModelConfig) error {
 		return fmt.Errorf("serve: model %s does not fit on %s at any batch size",
 			cfg.Name, cfg.Engine.Platform.Name)
 	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -144,9 +215,11 @@ func (s *Server) Register(cfg ModelConfig) error {
 		return fmt.Errorf("%w: %s", ErrDuplicateName, cfg.Name)
 	}
 	rt := &modelRuntime{
-		cfg:    cfg,
-		queue:  make(chan *pending, 1024),
-		closed: make(chan struct{}),
+		cfg:     cfg,
+		queue:   make(chan *pending, 1024),
+		closing: make(chan struct{}),
+		abort:   make(chan struct{}),
+		drained: make(chan struct{}),
 	}
 	s.models[cfg.Name] = rt
 
@@ -166,9 +239,45 @@ func (s *Server) Register(cfg ModelConfig) error {
 	return nil
 }
 
+// hasInputs reports whether a request carries real tensors. Batches
+// are kept homogeneous in this: fusing tensor-carrying and items-only
+// requests would make InferTensors run over fewer tensors than the
+// batch's item count claims.
+func hasInputs(p *pending) bool { return len(p.req.Inputs) > 0 }
+
+// dispatch claims the batch's pendings and hands the survivors to an
+// instance. Requests cancelled while queued are evicted here — they
+// never occupy a dispatched batch slot. Returns false when the send
+// was aborted by the drain deadline (the claimed survivors are failed).
+func (rt *modelRuntime) dispatch(batches chan<- []*pending, batch []*pending) bool {
+	live := batch[:0]
+	for _, p := range batch {
+		rt.inflight.Add(-1)
+		if p.claim() {
+			live = append(live, p)
+		} else {
+			rt.met.cancelled.Inc()
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	select {
+	case batches <- live:
+		return true
+	case <-rt.abort:
+		for _, p := range live {
+			rt.met.errors.Inc()
+			p.err <- ErrServerClosed
+		}
+		return false
+	}
+}
+
 // batcherLoop implements dynamic batching: it fuses queued requests
 // until the fused batch reaches MaxBatch items or QueueDelay elapses
-// since the first request.
+// since the first request. Tensor-carrying and items-only requests are
+// never fused into the same batch (see hasInputs).
 func (rt *modelRuntime) batcherLoop(batches chan<- []*pending) {
 	defer close(batches)
 	for {
@@ -176,29 +285,29 @@ func (rt *modelRuntime) batcherLoop(batches chan<- []*pending) {
 		select {
 		case p := <-rt.queue:
 			first = p
-		case <-rt.closed:
-			// Dispatch anything already queued, then exit.
-			for {
-				select {
-				case p := <-rt.queue:
-					batches <- []*pending{p}
-				default:
-					return
-				}
-			}
+		case <-rt.closing:
+			rt.drainQueue(batches)
+			return
 		}
 		batch := []*pending{first}
 		items := first.req.Items
+		real := hasInputs(first)
 		deadline := time.NewTimer(rt.cfg.QueueDelay)
 	fill:
 		for items < rt.cfg.MaxBatch {
 			select {
 			case p := <-rt.queue:
-				if items+p.req.Items > rt.cfg.MaxBatch {
+				if items+p.req.Items > rt.cfg.MaxBatch || hasInputs(p) != real {
 					// Dispatch current batch; start the next with p.
-					batches <- batch
+					if !rt.dispatch(batches, batch) {
+						rt.failPending(p)
+						deadline.Stop()
+						rt.drainQueue(batches)
+						return
+					}
 					batch = []*pending{p}
 					items = p.req.Items
+					real = hasInputs(p)
 					if !deadline.Stop() {
 						<-deadline.C
 					}
@@ -209,13 +318,86 @@ func (rt *modelRuntime) batcherLoop(batches chan<- []*pending) {
 				items += p.req.Items
 			case <-deadline.C:
 				break fill
-			case <-rt.closed:
+			case <-rt.closing:
 				// Shutdown: dispatch what we have immediately.
 				break fill
 			}
 		}
 		deadline.Stop()
-		batches <- batch
+		if !rt.dispatch(batches, batch) {
+			rt.drainQueue(batches)
+			return
+		}
+	}
+}
+
+// drainQueue is the graceful-shutdown path: it keeps fusing and
+// dispatching whatever is already queued (so queued work is served,
+// not failed) until the queue is empty or the drain deadline aborts.
+func (rt *modelRuntime) drainQueue(batches chan<- []*pending) {
+	for {
+		select {
+		case <-rt.abort:
+			rt.failQueued()
+			return
+		default:
+		}
+		var batch []*pending
+		items := 0
+		real := false
+	gather:
+		for items < rt.cfg.MaxBatch {
+			select {
+			case p := <-rt.queue:
+				if batch != nil && (items+p.req.Items > rt.cfg.MaxBatch || hasInputs(p) != real) {
+					if !rt.dispatch(batches, batch) {
+						rt.failPending(p)
+						rt.failQueued()
+						return
+					}
+					batch = nil
+					items = 0
+				}
+				if batch == nil {
+					real = hasInputs(p)
+				}
+				batch = append(batch, p)
+				items += p.req.Items
+			default:
+				break gather
+			}
+		}
+		if batch == nil {
+			return
+		}
+		if !rt.dispatch(batches, batch) {
+			rt.failQueued()
+			return
+		}
+	}
+}
+
+// failQueued fails everything still sitting in the queue.
+func (rt *modelRuntime) failQueued() {
+	for {
+		select {
+		case p := <-rt.queue:
+			rt.failPending(p)
+		default:
+			return
+		}
+	}
+}
+
+// failPending fails one undispatched pending (unless it was already
+// cancelled by its submitter).
+func (rt *modelRuntime) failPending(p *pending) {
+	rt.inflight.Add(-1)
+	if p.claim() {
+		rt.met.errors.Inc()
+		p.err <- ErrServerClosed
+	} else {
+		rt.met.cancelled.Inc()
 	}
 }
 
@@ -233,20 +415,25 @@ func (rt *modelRuntime) runBatch(batch []*pending) {
 		items += p.req.Items
 		inputs = append(inputs, p.req.Inputs...)
 	}
-	var stats engine.InferStats
+	// Stamp the execution start before inference so queue time is
+	// measured wall time in the batcher, never inferred by subtracting
+	// modeled compute from end-to-end time.
+	execStart := time.Now()
+	var st engine.InferStats
 	var outputs [][]float32
 	var err error
 	if rt.cfg.Engine.Real != nil && len(inputs) > 0 {
-		outputs, stats, err = rt.cfg.Engine.InferTensors(inputs, rt.cfg.InputSize)
+		outputs, st, err = rt.cfg.Engine.InferTensors(inputs, rt.cfg.InputSize)
 	} else {
-		stats, err = rt.cfg.Engine.Infer(items)
+		st, err = rt.cfg.Engine.Infer(items)
 	}
 	if err == nil && rt.cfg.TimeScale > 0 {
-		time.Sleep(time.Duration(stats.Seconds * rt.cfg.TimeScale * float64(time.Second)))
+		time.Sleep(time.Duration(st.Seconds * rt.cfg.TimeScale * float64(time.Second)))
 	}
+	execEnd := time.Now()
 	if rt.cfg.Trace != nil {
 		end := time.Since(serveEpoch).Seconds()
-		dur := stats.Seconds
+		dur := st.Seconds
 		rt.cfg.Trace.Add(trace.Span{
 			Name:     fmt.Sprintf("batch(%d reqs, %d imgs)", len(batch), items),
 			Track:    rt.cfg.Name,
@@ -259,42 +446,59 @@ func (rt *modelRuntime) runBatch(batch []*pending) {
 			},
 		})
 	}
-	rt.batches.Add(1)
-	now := time.Now()
+	rt.met.batches.Inc()
+	// Compute latency: measured wall time of the batch execution when
+	// the engine really runs or sleeps; the modeled estimate otherwise
+	// (TimeScale 0 pure simulation executes in microseconds).
+	computeSec := execEnd.Sub(execStart).Seconds()
+	if rt.cfg.Engine.Real == nil && rt.cfg.TimeScale == 0 {
+		computeSec = st.Seconds
+	}
+	rt.met.computeLat.Observe(computeSec)
 	outOff := 0
 	for _, p := range batch {
 		if err != nil {
+			rt.met.errors.Inc()
 			p.err <- fmt.Errorf("serve: model %s: %w", rt.cfg.Name, err)
 			continue
+		}
+		queueSec := execStart.Sub(p.enqueued).Seconds()
+		if queueSec < 0 {
+			queueSec = 0
 		}
 		resp := &Response{
 			ID:             p.req.ID,
 			Model:          rt.cfg.Name,
 			Items:          p.req.Items,
-			QueueSeconds:   now.Sub(p.enqueued).Seconds() - stats.Seconds*rt.cfg.TimeScale,
-			ComputeSeconds: stats.Seconds,
+			QueueSeconds:   queueSec,
+			ComputeSeconds: st.Seconds,
 			BatchSize:      items,
-		}
-		if resp.QueueSeconds < 0 {
-			resp.QueueSeconds = 0
 		}
 		if outputs != nil && len(p.req.Inputs) > 0 {
 			resp.Outputs = outputs[outOff : outOff+len(p.req.Inputs)]
 			outOff += len(p.req.Inputs)
 		}
-		rt.served.Add(int64(p.req.Items))
+		rt.met.queueLat.Observe(queueSec)
+		rt.met.requests.Inc()
+		rt.met.items.Add(int64(p.req.Items))
 		p.done <- resp
 	}
 }
 
 // Submit sends a request and blocks until its response, the context's
-// cancellation, or server shutdown.
+// cancellation, or server shutdown. A request whose context ends while
+// it is still queued is withdrawn from the batcher and never occupies
+// a dispatched batch slot; once a batch has claimed it, Submit waits
+// for that batch's outcome.
 func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	if req.Items <= 0 && len(req.Inputs) == 0 {
 		return nil, ErrEmptyRequest
 	}
 	if req.Items == 0 {
 		req.Items = len(req.Inputs)
+	}
+	if len(req.Inputs) > 0 && req.Items != len(req.Inputs) {
+		return nil, fmt.Errorf("%w: items=%d, inputs=%d", ErrItemsMismatch, req.Items, len(req.Inputs))
 	}
 	s.mu.Lock()
 	rt, ok := s.models[req.Model]
@@ -315,29 +519,48 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		done:     make(chan *Response, 1),
 		err:      make(chan error, 1),
 	}
+	rt.inflight.Add(1)
 	select {
 	case rt.queue <- p:
 	case <-ctx.Done():
+		rt.inflight.Add(-1)
 		return nil, ctx.Err()
-	case <-rt.closed:
+	case <-rt.closing:
+		rt.inflight.Add(-1)
 		return nil, ErrServerClosed
 	}
+	// Once enqueued, the request is guaranteed an outcome: the batcher
+	// either claims it (response or backend error arrives) or the
+	// shutdown path fails it. Queued work is drained, not abandoned, so
+	// shutdown-in-progress is not a wait condition; only a fully
+	// drained runtime (the enqueue raced past the batcher's exit) is.
 	select {
 	case resp := <-p.done:
 		return resp, nil
 	case err := <-p.err:
 		return nil, err
 	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-rt.closed:
-		// Shutdown: prefer a response that raced in, else fail.
+		if p.cancel() {
+			// Withdrawn before dispatch; the batcher will evict it.
+			return nil, ctx.Err()
+		}
+		// A batch already claimed it; its outcome is imminent.
 		select {
 		case resp := <-p.done:
 			return resp, nil
 		case err := <-p.err:
 			return nil, err
-		default:
+		}
+	case <-rt.drained:
+		if p.claim() {
+			rt.inflight.Add(-1)
 			return nil, ErrServerClosed
+		}
+		select {
+		case resp := <-p.done:
+			return resp, nil
+		case err := <-p.err:
+			return nil, err
 		}
 	}
 }
@@ -350,6 +573,7 @@ func (s *Server) Models() []string {
 	for name := range s.models {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -374,16 +598,62 @@ func (s *Server) StatsFor(name string) (Stats, error) {
 	}
 	st := Stats{
 		Model:          name,
-		RequestsServed: rt.served.Load(),
-		BatchesRun:     rt.batches.Load(),
+		RequestsServed: rt.met.requests.Load(),
+		ItemsServed:    rt.met.items.Load(),
+		BatchesRun:     rt.met.batches.Load(),
 	}
 	if st.BatchesRun > 0 && rt.cfg.MaxBatch > 0 {
-		st.MeanBatchFill = float64(st.RequestsServed) / float64(st.BatchesRun) / float64(rt.cfg.MaxBatch)
+		st.MeanBatchFill = float64(st.ItemsServed) / float64(st.BatchesRun) / float64(rt.cfg.MaxBatch)
 	}
 	return st, nil
 }
 
-// Close stops all batchers and instances, failing queued requests.
+// MetricsFor returns a metrics snapshot for one model.
+func (s *Server) MetricsFor(name string) (ModelMetrics, error) {
+	s.mu.Lock()
+	rt, ok := s.models[name]
+	s.mu.Unlock()
+	if !ok {
+		return ModelMetrics{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return rt.snapshot(), nil
+}
+
+// Metrics returns metrics snapshots for all models, sorted by name.
+func (s *Server) Metrics() []ModelMetrics {
+	s.mu.Lock()
+	rts := make([]*modelRuntime, 0, len(s.models))
+	for _, rt := range s.models {
+		rts = append(rts, rt)
+	}
+	s.mu.Unlock()
+	out := make([]ModelMetrics, 0, len(rts))
+	for _, rt := range rts {
+		out = append(out, rt.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+func (rt *modelRuntime) snapshot() ModelMetrics {
+	return ModelMetrics{
+		Model:          rt.cfg.Name,
+		Requests:       rt.met.requests.Load(),
+		Items:          rt.met.items.Load(),
+		Batches:        rt.met.batches.Load(),
+		Errors:         rt.met.errors.Load(),
+		Cancelled:      rt.met.cancelled.Load(),
+		QueueDepth:     rt.inflight.Load(),
+		QueueLatency:   rt.met.queueLat.Summary(),
+		ComputeLatency: rt.met.computeLat.Summary(),
+	}
+}
+
+// Close stops the server gracefully: new submissions are rejected,
+// requests already queued are dispatched and served within each
+// model's DrainTimeout, and only stragglers past the deadline are
+// failed with ErrServerClosed. Close blocks until every batcher and
+// instance goroutine has exited.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -396,21 +666,43 @@ func (s *Server) Close() {
 		rts = append(rts, rt)
 	}
 	s.mu.Unlock()
-	drain := func(rt *modelRuntime) {
-		// Fail anything that slipped into the queue after the batcher
-		// exited; submitters also observe rt.closed.
-		for {
-			select {
-			case p := <-rt.queue:
-				p.err <- ErrServerClosed
-			default:
-				return
-			}
-		}
-	}
+	// Start every model's drain concurrently, then wait on each.
 	for _, rt := range rts {
-		close(rt.closed)
-		rt.wg.Wait()
-		drain(rt)
+		close(rt.closing)
 	}
+	var wg sync.WaitGroup
+	for _, rt := range rts {
+		wg.Add(1)
+		go func(rt *modelRuntime) {
+			defer wg.Done()
+			rt.shutdown()
+		}(rt)
+	}
+	wg.Wait()
+}
+
+// shutdown waits for the runtime's goroutines to drain queued work,
+// aborting the drain if it outlives the configured timeout.
+func (rt *modelRuntime) shutdown() {
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	grace := rt.cfg.DrainTimeout
+	if grace < 0 {
+		grace = 0
+	}
+	select {
+	case <-done:
+	case <-time.After(grace):
+		close(rt.abort)
+		<-done
+	}
+	// Fail anything that slipped into the queue after the batcher
+	// exited; submitters racing Close also observe rt.closing, and
+	// anything enqueued after this final sweep is claimed by its own
+	// submitter via rt.drained.
+	rt.failQueued()
+	close(rt.drained)
 }
