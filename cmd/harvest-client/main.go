@@ -5,10 +5,12 @@
 //
 //	harvest-client [-url http://127.0.0.1:8000] [-model ViT_Tiny]
 //	               [-requests 100] [-items 4] [-concurrency 8]
+//	               [-class realtime|online|offline] [-deadline 50ms]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,8 +30,13 @@ func main() {
 		requests    = flag.Int("requests", 100, "number of requests")
 		items       = flag.Int("items", 4, "images per request")
 		concurrency = flag.Int("concurrency", 8, "in-flight requests")
+		class       = flag.String("class", "", "scenario class: realtime, online (default) or offline")
+		deadline    = flag.Duration("deadline", 0, "per-request deadline (0 = class default)")
 	)
 	flag.Parse()
+	if _, err := serve.ParseClass(*class); err != nil {
+		log.Fatal(err)
+	}
 
 	client := serve.NewClient(*url)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -43,7 +50,7 @@ func main() {
 	sem := make(chan struct{}, *concurrency)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var failed int
+	var failed, shed, expired int
 	start := time.Now()
 	for i := 0; i < *requests; i++ {
 		sem <- struct{}{}
@@ -51,12 +58,22 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			req := serve.InferRequestJSON{ID: fmt.Sprintf("req-%d", i), Items: *items, Class: *class}
+			if *deadline > 0 {
+				req.DeadlineMs = float64(*deadline) / float64(time.Millisecond)
+			}
 			t0 := time.Now()
-			_, err := client.Infer(context.Background(), *model,
-				serve.InferRequestJSON{ID: fmt.Sprintf("req-%d", i), Items: *items})
+			_, err := client.Infer(context.Background(), *model, req)
 			if err != nil {
 				mu.Lock()
-				failed++
+				switch {
+				case errors.Is(err, serve.ErrOverloaded):
+					shed++
+				case errors.Is(err, serve.ErrDeadlineExpired):
+					expired++
+				default:
+					failed++
+				}
 				mu.Unlock()
 				return
 			}
@@ -67,7 +84,7 @@ func main() {
 	elapsed := time.Since(start).Seconds()
 
 	s := rec.Summary()
-	fmt.Printf("model=%s requests=%d failed=%d\n", *model, *requests, failed)
+	fmt.Printf("model=%s requests=%d failed=%d shed=%d expired=%d\n", *model, *requests, failed, shed, expired)
 	fmt.Printf("wall=%.2fs request-throughput=%.1f req/s image-throughput=%.1f img/s\n",
 		elapsed, float64(rec.Count())/elapsed, float64(rec.Count()**items)/elapsed)
 	fmt.Printf("latency ms: mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
@@ -86,11 +103,15 @@ func main() {
 		if m.Model != *model {
 			continue
 		}
-		fmt.Printf("server: requests=%d items=%d batches=%d errors=%d cancelled=%d\n",
-			m.Requests, m.Items, m.Batches, m.Errors, m.Cancelled)
+		fmt.Printf("server: requests=%d items=%d batches=%d errors=%d cancelled=%d shed=%d expired=%d\n",
+			m.Requests, m.Items, m.Batches, m.Errors, m.Cancelled, m.Shed, m.Expired)
 		fmt.Printf("server queue ms:   p50=%.2f p95=%.2f p99=%.2f\n",
 			m.QueueMs.P50Ms, m.QueueMs.P95Ms, m.QueueMs.P99Ms)
 		fmt.Printf("server compute ms: p50=%.2f p95=%.2f p99=%.2f\n",
 			m.ComputeMs.P50Ms, m.ComputeMs.P95Ms, m.ComputeMs.P99Ms)
+		for cls, q := range m.QueueMsByClass {
+			fmt.Printf("server queue ms [%s]: p50=%.2f p95=%.2f p99=%.2f\n",
+				cls, q.P50Ms, q.P95Ms, q.P99Ms)
+		}
 	}
 }

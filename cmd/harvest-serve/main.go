@@ -9,6 +9,7 @@
 //	harvest-serve [-addr :8000] [-platform A100|V100|Jetson]
 //	              [-models ViT_Tiny,ResNet50] [-queue-delay 2ms]
 //	              [-instances 1] [-timescale 1.0] [-drain-timeout 5s]
+//	              [-max-queue-depth 1024] [-realtime-slo 16.7ms]
 package main
 
 import (
@@ -39,15 +40,21 @@ func main() {
 		timescale    = flag.Float64("timescale", 1.0, "fraction of modeled latency to really sleep (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", serve.DefaultDrainTimeout,
 			"how long shutdown serves already-queued requests before failing stragglers")
+		maxQueueDepth = flag.Int("max-queue-depth", serve.DefaultMaxQueueDepth,
+			"per-model admission queue bound; a full queue sheds with HTTP 429")
+		realtimeSLO = flag.Duration("realtime-slo", serve.DefaultRealtimeBudget,
+			"implicit deadline for realtime-class requests (negative disables)")
 	)
 	flag.Parse()
 
 	cfg := core.DeploymentConfig{
-		Platform:     *platform,
-		QueueDelay:   *queueDelay,
-		Instances:    *instances,
-		TimeScale:    *timescale,
-		DrainTimeout: *drainTimeout,
+		Platform:       *platform,
+		QueueDelay:     *queueDelay,
+		Instances:      *instances,
+		TimeScale:      *timescale,
+		DrainTimeout:   *drainTimeout,
+		MaxQueueDepth:  *maxQueueDepth,
+		RealtimeBudget: *realtimeSLO,
 	}
 	if *modelsArg != "" {
 		for _, m := range strings.Split(*modelsArg, ",") {
@@ -87,9 +94,9 @@ func main() {
 	}
 	srv.Close()
 	for _, m := range srv.Metrics() {
-		log.Printf("%s: requests=%d items=%d batches=%d errors=%d cancelled=%d "+
+		log.Printf("%s: requests=%d items=%d batches=%d errors=%d cancelled=%d shed=%d expired=%d "+
 			"queue p50/p95/p99 = %.2f/%.2f/%.2f ms, compute p50/p95/p99 = %.2f/%.2f/%.2f ms",
-			m.Model, m.Requests, m.Items, m.Batches, m.Errors, m.Cancelled,
+			m.Model, m.Requests, m.Items, m.Batches, m.Errors, m.Cancelled, m.Shed, m.Expired,
 			m.QueueLatency.P50*1000, m.QueueLatency.P95*1000, m.QueueLatency.P99*1000,
 			m.ComputeLatency.P50*1000, m.ComputeLatency.P95*1000, m.ComputeLatency.P99*1000)
 	}

@@ -98,6 +98,14 @@ type DeploymentConfig struct {
 	// DrainTimeout bounds Close's graceful drain per model
 	// (default serve.DefaultDrainTimeout).
 	DrainTimeout time.Duration
+	// MaxQueueDepth bounds each model's admission queue; a full queue
+	// sheds new requests with serve.ErrOverloaded / HTTP 429
+	// (default serve.DefaultMaxQueueDepth).
+	MaxQueueDepth int
+	// RealtimeBudget is the implicit deadline of realtime-class
+	// requests (default serve.DefaultRealtimeBudget, the paper's
+	// 16.7 ms SLO; negative disables).
+	RealtimeBudget time.Duration
 }
 
 // NewDeployment builds a running inference server hosting the
@@ -123,12 +131,14 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 			return nil, err
 		}
 		if err := srv.Register(serve.ModelConfig{
-			Name:         name,
-			Engine:       eng,
-			QueueDelay:   cfg.QueueDelay,
-			Instances:    cfg.Instances,
-			TimeScale:    cfg.TimeScale,
-			DrainTimeout: cfg.DrainTimeout,
+			Name:           name,
+			Engine:         eng,
+			QueueDelay:     cfg.QueueDelay,
+			Instances:      cfg.Instances,
+			TimeScale:      cfg.TimeScale,
+			DrainTimeout:   cfg.DrainTimeout,
+			MaxQueueDepth:  cfg.MaxQueueDepth,
+			RealtimeBudget: cfg.RealtimeBudget,
 		}); err != nil {
 			srv.Close()
 			return nil, err

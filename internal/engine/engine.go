@@ -139,6 +139,10 @@ type SweepResult struct {
 	Batch int
 	InferStats
 	OOM bool
+	// Err records why the point has no stats: the OOM error for OOM
+	// points, or any other engine failure. A sweep point never vanishes
+	// without trace.
+	Err error
 }
 
 // Sweep evaluates the engine across the platform's figure batch axis,
@@ -148,10 +152,7 @@ func (e *Engine) Sweep() []SweepResult {
 	for _, b := range hw.BatchSweep(e.Platform.Name) {
 		st, err := e.Infer(b)
 		if err != nil {
-			if errors.Is(err, ErrOOM) {
-				out = append(out, SweepResult{Batch: b, OOM: true})
-				continue
-			}
+			out = append(out, SweepResult{Batch: b, OOM: errors.Is(err, ErrOOM), Err: err})
 			continue
 		}
 		out = append(out, SweepResult{Batch: b, InferStats: st})

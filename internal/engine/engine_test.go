@@ -214,3 +214,27 @@ func TestAllPlatformModelPairsConstruct(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepRecordsErrors verifies no sweep point vanishes silently:
+// failed points carry the causing error (OOM points wrap ErrOOM) and
+// healthy points carry none.
+func TestSweepRecordsErrors(t *testing.T) {
+	eng, err := New(hw.Jetson(), models.NameViTBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range eng.Sweep() {
+		switch {
+		case r.OOM:
+			if !errors.Is(r.Err, ErrOOM) {
+				t.Errorf("batch %d marked OOM but Err=%v does not wrap ErrOOM", r.Batch, r.Err)
+			}
+		case r.Err != nil:
+			t.Errorf("batch %d: unexpected sweep error %v", r.Batch, r.Err)
+		default:
+			if r.Seconds <= 0 {
+				t.Errorf("batch %d has neither stats nor error", r.Batch)
+			}
+		}
+	}
+}

@@ -28,7 +28,7 @@ func Fig5(opts Options) (*Artifact, error) {
 			var bestBatch int
 			var bestThr float64
 			for _, pt := range eng.Sweep() {
-				if pt.OOM {
+				if pt.Err != nil {
 					continue
 				}
 				s.Add(float64(pt.Batch), pt.TFLOPS)

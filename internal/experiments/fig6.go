@@ -27,7 +27,7 @@ func Fig6(opts Options) (*Artifact, error) {
 			ideal := fig.AddSeries(name + "(ideal)")
 			bestUnder := 0
 			for _, pt := range eng.Sweep() {
-				if pt.OOM {
+				if pt.Err != nil {
 					continue
 				}
 				ms := pt.Seconds * 1000

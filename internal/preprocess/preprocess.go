@@ -235,8 +235,12 @@ func (e *GPUEngine) ProcessBatch(items []Item) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			resized := imaging.Resize(im, e.Out, e.Out)
-			res.Tensors = append(res.Tensors, imaging.Normalize(resized, imaging.ImageNetMean, imaging.ImageNetStd))
+			// Same geometry as the CPU engines: aspect-preserving resize
+			// plus center crop, so the same image yields the same tensor
+			// on either engine (DALI parity with the Torchvision path).
+			resized := imaging.ResizeShortSide(im, e.Out)
+			cropped := imaging.CenterCrop(resized, e.Out, e.Out)
+			res.Tensors = append(res.Tensors, imaging.Normalize(cropped, imaging.ImageNetMean, imaging.ImageNetStd))
 		}
 	}
 	return res, nil

@@ -288,3 +288,35 @@ func TestCPUEngineWorkerErrorPropagates(t *testing.T) {
 		t.Error("corrupt item in parallel batch accepted")
 	}
 }
+
+// TestCPUGPUTensorParity pins the regression where the GPU engine used
+// an aspect-distorting resize: for non-perspective items both engines
+// must produce bit-identical tensors (resize-short-side, center crop,
+// ImageNet normalize).
+func TestCPUGPUTensorParity(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 3)
+	cpu := &CPUEngine{Platform: hw.A100(), Out: 48, Materialize: true}
+	gpu := &GPUEngine{Platform: hw.A100(), Out: 48, Materialize: true}
+	rc, err := cpu.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := gpu.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rc.Tensors) != len(items) || len(rg.Tensors) != len(items) {
+		t.Fatalf("tensor counts %d / %d, want %d", len(rc.Tensors), len(rg.Tensors), len(items))
+	}
+	for i := range rc.Tensors {
+		if len(rc.Tensors[i]) != len(rg.Tensors[i]) {
+			t.Fatalf("item %d: tensor lengths %d vs %d", i, len(rc.Tensors[i]), len(rg.Tensors[i]))
+		}
+		for j := range rc.Tensors[i] {
+			if rc.Tensors[i][j] != rg.Tensors[i][j] {
+				t.Fatalf("item %d: CPU and GPU tensors diverge at %d: %v vs %v",
+					i, j, rc.Tensors[i][j], rg.Tensors[i][j])
+			}
+		}
+	}
+}

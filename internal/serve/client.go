@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -16,8 +17,9 @@ type Client struct {
 	BaseURL string
 	HTTP    *http.Client
 	// MaxRetries bounds retry attempts for idempotent GETs (transport
-	// errors and 5xx responses). 0 means defaultMaxRetries; negative
-	// disables retries.
+	// errors and 5xx responses) and for 429-rejected inferences (safe:
+	// a shed request was never admitted). 0 means defaultMaxRetries;
+	// negative disables retries.
 	MaxRetries int
 	// RetryBackoff is the initial backoff between retries, doubled per
 	// attempt. 0 means defaultRetryBackoff.
@@ -38,6 +40,24 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
+// retries and backoff resolve the client's retry knobs.
+func (c *Client) retries() int {
+	if c.MaxRetries == 0 {
+		return defaultMaxRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return defaultRetryBackoff
+	}
+	return c.RetryBackoff
+}
+
 // drainClose exhausts and closes a response body so the underlying
 // HTTP connection can be reused instead of torn down.
 func drainClose(body io.ReadCloser) {
@@ -48,17 +68,8 @@ func drainClose(body io.ReadCloser) {
 // getJSON fetches path with bounded retry-with-backoff (safe: GETs are
 // idempotent) and decodes a 200 response into out.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	retries := c.MaxRetries
-	if retries == 0 {
-		retries = defaultMaxRetries
-	}
-	if retries < 0 {
-		retries = 0
-	}
-	backoff := c.RetryBackoff
-	if backoff <= 0 {
-		backoff = defaultRetryBackoff
-	}
+	retries := c.retries()
+	backoff := c.backoff()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -162,9 +173,60 @@ func (c *Client) Metrics(ctx context.Context) (*MetricsJSON, error) {
 	return &out, nil
 }
 
-// Infer submits one inference request. Infer is not retried: POSTs are
-// not idempotent from the server's point of view.
+// overloadError marks a 429 rejection, carrying the server's
+// Retry-After hint.
+type overloadError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (o *overloadError) Error() string { return o.err.Error() }
+func (o *overloadError) Unwrap() error { return o.err }
+
+// Infer submits one inference request. Ordinary failures are not
+// retried (POSTs are not idempotent from the server's point of view),
+// but a 429 rejection is: the request was shed before admission, so
+// resubmitting after the server's Retry-After hint (capped at the
+// client's doubling backoff schedule) cannot duplicate work. When the
+// body carries no deadline_ms and the context has a deadline, the
+// remaining context budget propagates as the request's deadline.
 func (c *Client) Infer(ctx context.Context, model string, body InferRequestJSON) (*InferResponseJSON, error) {
+	retries := c.retries()
+	backoff := c.backoff()
+	explicitDeadline := body.DeadlineMs > 0
+	for attempt := 0; ; attempt++ {
+		if !explicitDeadline {
+			// Re-derive per attempt: the remaining budget shrinks while
+			// we back off.
+			body.DeadlineMs = 0
+			if dl, ok := ctx.Deadline(); ok {
+				if ms := float64(time.Until(dl)) / float64(time.Millisecond); ms > 0 {
+					body.DeadlineMs = ms
+				}
+			}
+		}
+		out, err := c.inferOnce(ctx, model, body)
+		if err == nil {
+			return out, nil
+		}
+		var oe *overloadError
+		if attempt >= retries || ctx.Err() != nil || !errors.As(err, &oe) {
+			return nil, err
+		}
+		wait := backoff
+		if oe.retryAfter > 0 && oe.retryAfter < wait {
+			wait = oe.retryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("serve: infer %s: %w (last error: %v)", model, ctx.Err(), err)
+		case <-time.After(wait):
+		}
+		backoff *= 2
+	}
+}
+
+func (c *Client) inferOnce(ctx context.Context, model string, body InferRequestJSON) (*InferResponseJSON, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
@@ -182,8 +244,25 @@ func (c *Client) Infer(ctx context.Context, model string, body InferRequestJSON)
 	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		var e errorJSON
-		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-			return nil, fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, e.Error)
+		msg := ""
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil {
+			msg = e.Error
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			var after time.Duration
+			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+				after = time.Duration(sec) * time.Second
+			}
+			return nil, &overloadError{
+				err:        fmt.Errorf("%w: HTTP 429: %s", ErrOverloaded, msg),
+				retryAfter: after,
+			}
+		case http.StatusGatewayTimeout:
+			return nil, fmt.Errorf("%w: HTTP 504: %s", ErrDeadlineExpired, msg)
+		}
+		if msg != "" {
+			return nil, fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, msg)
 		}
 		return nil, fmt.Errorf("serve: HTTP %d", resp.StatusCode)
 	}

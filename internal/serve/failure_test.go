@@ -63,24 +63,29 @@ func TestBackendFailurePropagatesToAllFusedRequests(t *testing.T) {
 	}
 }
 
-func TestSlowClientContextTimeout(t *testing.T) {
+func TestSlowClientContextCancel(t *testing.T) {
 	eng, err := engine.New(hw.A100(), models.NameViTTiny)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A very long batching window holds the request in the queue.
+	// A very long batching window holds the request in the queue. A
+	// cancel (not a deadline — a context deadline would legitimately
+	// close the batching window early) must withdraw it promptly.
 	s := newTestServer(t, ModelConfig{
 		Name: "slow", Engine: eng, MaxBatch: 64, QueueDelay: 10 * time.Second,
 	})
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
-	defer cancel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
 	start := time.Now()
 	_, err = s.Submit(ctx, &Request{Model: "slow", Items: 1})
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Errorf("expected deadline exceeded, got %v", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("expected context cancelled, got %v", err)
 	}
 	if time.Since(start) > time.Second {
-		t.Error("timeout did not fire promptly")
+		t.Error("cancellation did not fire promptly")
 	}
 }
 

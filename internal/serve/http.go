@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"harvest/internal/stats"
 )
@@ -20,6 +22,14 @@ type InferRequestJSON struct {
 	// Inputs optionally carries flattened CHW tensors for real-compute
 	// models.
 	Inputs [][]float32 `json:"inputs,omitempty"`
+	// Class selects the scenario lane: "realtime", "online" (default)
+	// or "offline" (paper §2.2 deployment scenarios).
+	Class string `json:"class,omitempty"`
+	// DeadlineMs is the request's latency budget in milliseconds,
+	// counted from server receipt. 0 means the class default (16.7 ms
+	// for realtime, none otherwise). Requests that cannot meet their
+	// budget are shed with HTTP 504 instead of executed.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 }
 
 // InferResponseJSON is the response body.
@@ -70,15 +80,24 @@ type LatencySummaryJSON struct {
 
 // ModelMetricsJSON is one model's entry in GET /v2/metrics.
 type ModelMetricsJSON struct {
-	Model      string             `json:"model"`
-	Requests   int64              `json:"requests"`
-	Items      int64              `json:"items"`
-	Batches    int64              `json:"batches"`
-	Errors     int64              `json:"errors"`
-	Cancelled  int64              `json:"cancelled"`
+	Model     string `json:"model"`
+	Requests  int64  `json:"requests"`
+	Items     int64  `json:"items"`
+	Batches   int64  `json:"batches"`
+	Errors    int64  `json:"errors"`
+	Cancelled int64  `json:"cancelled"`
+	// Shed counts submissions rejected with HTTP 429 by admission
+	// control (queue full).
+	Shed int64 `json:"shed"`
+	// Expired counts admitted requests evicted past their deadline
+	// (HTTP 504).
+	Expired    int64              `json:"expired"`
 	QueueDepth int64              `json:"queue_depth"`
 	QueueMs    LatencySummaryJSON `json:"queue_ms"`
 	ComputeMs  LatencySummaryJSON `json:"compute_ms"`
+	// QueueMsByClass decomposes queue latency per SLO class, keyed by
+	// class name, for classes that served requests.
+	QueueMsByClass map[string]LatencySummaryJSON `json:"queue_ms_by_class,omitempty"`
 }
 
 // MetricsJSON is the response of GET /v2/metrics.
@@ -89,6 +108,40 @@ type MetricsJSON struct {
 // errorJSON is the error envelope.
 type errorJSON struct {
 	Error string `json:"error"`
+}
+
+// inferBodyLimit caps the infer request body: a fixed overhead plus
+// room for MaxBatch JSON-encoded input tensors when the model takes
+// real tensor inputs (~16 bytes per float32 in decimal text).
+func inferBodyLimit(cfg ModelConfig) int64 {
+	const overhead = 1 << 20
+	if cfg.InputSize <= 0 {
+		return overhead
+	}
+	perImage := int64(3*cfg.InputSize*cfg.InputSize) * 16
+	return overhead + int64(cfg.MaxBatch)*perImage
+}
+
+// retryAfterSeconds estimates how long an overloaded model needs to
+// work off its backlog, for the 429 Retry-After header (whole seconds,
+// at least 1).
+func (s *Server) retryAfterSeconds(name string) int {
+	s.mu.Lock()
+	rt, ok := s.models[name]
+	s.mu.Unlock()
+	if !ok {
+		return 1
+	}
+	drain := float64(rt.inflight.Load()) / float64(rt.cfg.MaxBatch) *
+		rt.estimatedExecDuration(rt.cfg.MaxBatch).Seconds()
+	sec := int(drain + 1)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // Handler exposes the server over HTTP:
@@ -141,22 +194,51 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusNotFound, errorJSON{Error: "not found"})
 			return
 		}
+		cfg, err := s.ModelConfigFor(name)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: err.Error()})
+			return
+		}
+		// Bound the body before decoding: an items-only request is tiny,
+		// a tensor request at most MaxBatch full-size inputs.
+		r.Body = http.MaxBytesReader(w, r.Body, inferBodyLimit(cfg))
 		var body InferRequestJSON
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorJSON{Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+				return
+			}
 			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
 			return
 		}
-		resp, err := s.Submit(r.Context(), &Request{
+		class, err := ParseClass(body.Class)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+			return
+		}
+		req := &Request{
 			ID: body.ID, Model: name, Items: body.Items, Inputs: body.Inputs,
-		})
+			Class: class,
+		}
+		if body.DeadlineMs > 0 {
+			req.Deadline = time.Now().Add(time.Duration(body.DeadlineMs * float64(time.Millisecond)))
+		}
+		resp, err := s.Submit(r.Context(), req)
 		if err != nil {
 			status := http.StatusInternalServerError
 			switch {
 			case errors.Is(err, ErrUnknownModel):
 				status = http.StatusNotFound
 			case errors.Is(err, ErrEmptyRequest), errors.Is(err, ErrTooManyItems),
-				errors.Is(err, ErrItemsMismatch):
+				errors.Is(err, ErrItemsMismatch), errors.Is(err, ErrBadClass):
 				status = http.StatusBadRequest
+			case errors.Is(err, ErrOverloaded):
+				status = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(name)))
+			case errors.Is(err, ErrDeadlineExpired):
+				status = http.StatusGatewayTimeout
 			case errors.Is(err, ErrServerClosed):
 				status = http.StatusServiceUnavailable
 			}
@@ -181,26 +263,36 @@ func (s *Server) Handler() http.Handler {
 }
 
 func metricsToJSON(m ModelMetrics) ModelMetricsJSON {
-	toMs := func(s stats.Summary) LatencySummaryJSON {
-		return LatencySummaryJSON{
-			Count:  s.N,
-			MeanMs: s.Mean * 1000,
-			P50Ms:  s.P50 * 1000,
-			P95Ms:  s.P95 * 1000,
-			P99Ms:  s.P99 * 1000,
-			MaxMs:  s.Max * 1000,
-		}
-	}
-	return ModelMetricsJSON{
+	out := ModelMetricsJSON{
 		Model:      m.Model,
 		Requests:   m.Requests,
 		Items:      m.Items,
 		Batches:    m.Batches,
 		Errors:     m.Errors,
 		Cancelled:  m.Cancelled,
+		Shed:       m.Shed,
+		Expired:    m.Expired,
 		QueueDepth: m.QueueDepth,
-		QueueMs:    toMs(m.QueueLatency),
-		ComputeMs:  toMs(m.ComputeLatency),
+		QueueMs:    summaryToMs(m.QueueLatency),
+		ComputeMs:  summaryToMs(m.ComputeLatency),
+	}
+	for class, sum := range m.ClassQueueLatency {
+		if out.QueueMsByClass == nil {
+			out.QueueMsByClass = make(map[string]LatencySummaryJSON, len(m.ClassQueueLatency))
+		}
+		out.QueueMsByClass[class] = summaryToMs(sum)
+	}
+	return out
+}
+
+func summaryToMs(s stats.Summary) LatencySummaryJSON {
+	return LatencySummaryJSON{
+		Count:  s.N,
+		MeanMs: s.Mean * 1000,
+		P50Ms:  s.P50 * 1000,
+		P95Ms:  s.P95 * 1000,
+		P99Ms:  s.P99 * 1000,
+		MaxMs:  s.Max * 1000,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,11 +32,77 @@ var (
 	ErrEmptyRequest  = errors.New("serve: request has no items")
 	ErrItemsMismatch = errors.New("serve: request items disagree with inputs")
 	ErrDuplicateName = errors.New("serve: model already registered")
+	// ErrOverloaded rejects a submission whose model's admission queue
+	// is full. The request was never admitted; retrying later is safe.
+	ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+	// ErrDeadlineExpired sheds an admitted request whose deadline can no
+	// longer be met: the batcher evicts it instead of burning an engine
+	// slot on a guaranteed SLO miss.
+	ErrDeadlineExpired = errors.New("serve: deadline expired before execution")
+	// ErrBadClass rejects a request with an out-of-range SLO class.
+	ErrBadClass = errors.New("serve: invalid SLO class")
 )
 
 // DefaultDrainTimeout bounds Close's graceful drain when
 // ModelConfig.DrainTimeout is zero.
 const DefaultDrainTimeout = 5 * time.Second
+
+// DefaultMaxQueueDepth bounds a model's admission queue when
+// ModelConfig.MaxQueueDepth is zero.
+const DefaultMaxQueueDepth = 1024
+
+// DefaultRealtimeBudget is the implicit deadline of realtime-class
+// requests that carry no explicit deadline: the paper's Fig. 6 SLO of
+// 16.7 ms, one frame at the 60 QPS real-time threshold.
+const DefaultRealtimeBudget = 16700 * time.Microsecond
+
+// Class is a request's SLO class, mapping to the paper's §2.2
+// deployment scenarios. The zero value is ClassOnline.
+type Class int
+
+const (
+	// ClassOnline is interactive online traffic (default): no implicit
+	// deadline, normal dispatch priority.
+	ClassOnline Class = iota
+	// ClassRealtime is the real-time scenario: dispatched ahead of the
+	// other lanes and subject to DefaultRealtimeBudget (or the model's
+	// RealtimeBudget) when no explicit deadline is given.
+	ClassRealtime
+	// ClassOffline is throughput-oriented batch work: dispatched only
+	// when no higher-priority work is queued.
+	ClassOffline
+	numClasses
+)
+
+// laneOrder lists the classes from highest to lowest dispatch priority.
+var laneOrder = [numClasses]Class{ClassRealtime, ClassOnline, ClassOffline}
+
+// String returns the wire name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassOnline:
+		return "online"
+	case ClassRealtime:
+		return "realtime"
+	case ClassOffline:
+		return "offline"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ParseClass maps a wire name to a Class. The empty string is
+// ClassOnline.
+func ParseClass(s string) (Class, error) {
+	switch strings.ToLower(s) {
+	case "", "online":
+		return ClassOnline, nil
+	case "realtime", "real-time":
+		return ClassRealtime, nil
+	case "offline", "batch":
+		return ClassOffline, nil
+	}
+	return ClassOnline, fmt.Errorf("%w: %q", ErrBadClass, s)
+}
 
 // Request is one inference request from the frontend. Items counts the
 // images in the request; Inputs optionally carries real tensors for
@@ -46,6 +113,15 @@ type Request struct {
 	Model  string
 	Items  int
 	Inputs [][]float32
+	// Class selects the scenario lane (default ClassOnline). Realtime
+	// requests are batched ahead of online ones, which are batched
+	// ahead of offline ones.
+	Class Class
+	// Deadline, when set, is the absolute SLO deadline: the batcher
+	// sheds the request with ErrDeadlineExpired once meeting it has
+	// become impossible. Unset, it falls back to the submission
+	// context's deadline, then to the class default (realtime only).
+	Deadline time.Time
 }
 
 // Response reports the outcome of a request.
@@ -56,8 +132,11 @@ type Response struct {
 	// QueueSeconds is real wall time spent in the dynamic batcher,
 	// measured from enqueue to the batch's execution start.
 	QueueSeconds float64
-	// ComputeSeconds is the modeled engine time of the batch the
-	// request was folded into.
+	// ComputeSeconds is the execution time of the batch the request was
+	// folded into: measured wall time when the engine really runs or
+	// sleeps, the modeled estimate in pure simulation (no real backend
+	// and TimeScale == 0). It always equals the value observed by the
+	// compute-latency metric.
 	ComputeSeconds float64
 	// BatchSize is the size of the fused batch that served the request.
 	BatchSize int
@@ -74,7 +153,9 @@ type ModelConfig struct {
 	// use the engine's memory-derived max batch.
 	MaxBatch int
 	// QueueDelay is the dynamic batching window: how long the batcher
-	// waits for more requests before dispatching a partial batch.
+	// waits for more requests before dispatching a partial batch. The
+	// window closes early when the oldest deadline in the forming batch
+	// would otherwise be missed.
 	QueueDelay time.Duration
 	// Instances is the number of parallel engine instances (paper §5:
 	// multi-instance strategies). Default 1.
@@ -91,6 +172,15 @@ type ModelConfig struct {
 	// 0 means DefaultDrainTimeout; negative means no grace (fail
 	// queued work immediately).
 	DrainTimeout time.Duration
+	// MaxQueueDepth bounds requests admitted but not yet dispatched,
+	// across all lanes. A full queue rejects new submissions
+	// immediately with ErrOverloaded instead of blocking. 0 means
+	// DefaultMaxQueueDepth.
+	MaxQueueDepth int
+	// RealtimeBudget is the implicit deadline of realtime-class
+	// requests with no explicit or context deadline. 0 means
+	// DefaultRealtimeBudget; negative disables the implicit deadline.
+	RealtimeBudget time.Duration
 	// Trace, when non-nil, receives one span per executed batch
 	// (wall-clock, track = model name) with queue/batch metadata.
 	Trace *trace.Recorder
@@ -109,6 +199,8 @@ const (
 
 type pending struct {
 	req      *Request
+	class    Class
+	deadline time.Time // zero = none
 	enqueued time.Time
 	state    atomic.Int32
 	done     chan *Response
@@ -134,27 +226,41 @@ type modelMetrics struct {
 	batches    metrics.Counter // fused batches executed
 	errors     metrics.Counter // requests failed by the backend or shutdown
 	cancelled  metrics.Counter // requests evicted before dispatch
+	shed       metrics.Counter // submissions rejected by admission control
+	expired    metrics.Counter // admitted requests evicted past their deadline
 	queueLat   metrics.LatencyRecorder
 	computeLat metrics.LatencyRecorder
+	// classQueueLat decomposes queue latency per SLO class.
+	classQueueLat [numClasses]metrics.LatencyRecorder
 }
 
 // ModelMetrics is a point-in-time snapshot of a model's serving
 // metrics. Latency summaries are in seconds.
 type ModelMetrics struct {
-	Model          string
-	Requests       int64
-	Items          int64
-	Batches        int64
-	Errors         int64
-	Cancelled      int64
+	Model     string
+	Requests  int64
+	Items     int64
+	Batches   int64
+	Errors    int64
+	Cancelled int64
+	// Shed counts submissions rejected with ErrOverloaded.
+	Shed int64
+	// Expired counts admitted requests evicted with ErrDeadlineExpired.
+	Expired        int64
 	QueueDepth     int64
 	QueueLatency   stats.Summary
 	ComputeLatency stats.Summary
+	// ClassQueueLatency holds the queue-latency summary per SLO class
+	// (keyed by Class.String()) for classes with observations.
+	ClassQueueLatency map[string]stats.Summary
 }
 
 type modelRuntime struct {
-	cfg      ModelConfig
-	queue    chan *pending
+	cfg ModelConfig
+	// queues holds one admission lane per SLO class; the batcher drains
+	// them in laneOrder. Each lane's capacity is MaxQueueDepth, so a
+	// send by an admitted request never blocks.
+	queues   [numClasses]chan *pending
 	closing  chan struct{} // closed to start graceful drain
 	abort    chan struct{} // closed when the drain timeout expires
 	drained  chan struct{} // closed when shutdown has failed all stragglers
@@ -206,6 +312,12 @@ func (s *Server) Register(cfg ModelConfig) error {
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
+	if cfg.MaxQueueDepth <= 0 {
+		cfg.MaxQueueDepth = DefaultMaxQueueDepth
+	}
+	if cfg.RealtimeBudget == 0 {
+		cfg.RealtimeBudget = DefaultRealtimeBudget
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -216,10 +328,12 @@ func (s *Server) Register(cfg ModelConfig) error {
 	}
 	rt := &modelRuntime{
 		cfg:     cfg,
-		queue:   make(chan *pending, 1024),
 		closing: make(chan struct{}),
 		abort:   make(chan struct{}),
 		drained: make(chan struct{}),
+	}
+	for c := range rt.queues {
+		rt.queues[c] = make(chan *pending, cfg.MaxQueueDepth)
 	}
 	s.models[cfg.Name] = rt
 
@@ -245,19 +359,99 @@ func (s *Server) Register(cfg ModelConfig) error {
 // batch's item count claims.
 func hasInputs(p *pending) bool { return len(p.req.Inputs) > 0 }
 
+// admit reserves one admission-queue slot, or reports the queue full.
+func (rt *modelRuntime) admit() bool {
+	max := int64(rt.cfg.MaxQueueDepth)
+	for {
+		cur := rt.inflight.Load()
+		if cur >= max {
+			return false
+		}
+		if rt.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// estimatedExecDuration predicts the wall-clock execution time of a
+// fused batch of the given size: the calibrated model latency scaled by
+// TimeScale when simulating (0 in pure simulation, which executes in
+// microseconds), or the raw modeled latency when a real backend
+// computes.
+func (rt *modelRuntime) estimatedExecDuration(items int) time.Duration {
+	if items <= 0 {
+		return 0
+	}
+	if items > rt.cfg.MaxBatch {
+		items = rt.cfg.MaxBatch
+	}
+	sec := rt.cfg.Engine.Perf.LatencySeconds(items)
+	if rt.cfg.Engine.Real == nil {
+		sec *= rt.cfg.TimeScale
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// poll takes the next queued request without blocking, preferring
+// higher-priority lanes. Under backlog this is how realtime work
+// overtakes online and offline work.
+func (rt *modelRuntime) poll() *pending {
+	for _, c := range laneOrder {
+		select {
+		case p := <-rt.queues[c]:
+			return p
+		default:
+		}
+	}
+	return nil
+}
+
+// recv blocks for the next queued request, preferring higher-priority
+// lanes. Returns nil when the runtime starts closing.
+func (rt *modelRuntime) recv() *pending {
+	if p := rt.poll(); p != nil {
+		return p
+	}
+	select {
+	case p := <-rt.queues[ClassRealtime]:
+		return p
+	case p := <-rt.queues[ClassOnline]:
+		return p
+	case p := <-rt.queues[ClassOffline]:
+		return p
+	case <-rt.closing:
+		return nil
+	}
+}
+
 // dispatch claims the batch's pendings and hands the survivors to an
-// instance. Requests cancelled while queued are evicted here — they
-// never occupy a dispatched batch slot. Returns false when the send
-// was aborted by the drain deadline (the claimed survivors are failed).
+// instance. Requests cancelled while queued, and requests whose
+// deadline can no longer be met even if executed right now, are
+// evicted here — they never occupy a dispatched batch slot. Returns
+// false when the send was aborted by the drain deadline (the claimed
+// survivors are failed).
 func (rt *modelRuntime) dispatch(batches chan<- []*pending, batch []*pending) bool {
+	items := 0
+	for _, p := range batch {
+		items += p.req.Items
+	}
+	// The expiry horizon: a request whose remaining slack is below the
+	// modeled execution time of this batch is a guaranteed SLO miss.
+	est := rt.estimatedExecDuration(items)
+	horizon := time.Now().Add(est)
 	live := batch[:0]
 	for _, p := range batch {
 		rt.inflight.Add(-1)
-		if p.claim() {
-			live = append(live, p)
-		} else {
+		if !p.claim() {
 			rt.met.cancelled.Inc()
+			continue
 		}
+		if !p.deadline.IsZero() && horizon.After(p.deadline) {
+			rt.met.expired.Inc()
+			p.err <- fmt.Errorf("%w: model %s, batch of %d", ErrDeadlineExpired, rt.cfg.Name, items)
+			continue
+		}
+		live = append(live, p)
 	}
 	if len(live) == 0 {
 		return true
@@ -274,56 +468,114 @@ func (rt *modelRuntime) dispatch(batches chan<- []*pending, batch []*pending) bo
 	}
 }
 
-// batcherLoop implements dynamic batching: it fuses queued requests
-// until the fused batch reaches MaxBatch items or QueueDelay elapses
-// since the first request. Tensor-carrying and items-only requests are
-// never fused into the same batch (see hasInputs).
+// fireAt returns when the forming batch should be dispatched: at the
+// end of the batching window, or earlier so that the batch's earliest
+// deadline can still be met after the estimated execution time.
+func (rt *modelRuntime) fireAt(windowEnd, earliest time.Time, items int) time.Time {
+	at := windowEnd
+	if !earliest.IsZero() {
+		latest := earliest.Add(-rt.estimatedExecDuration(items))
+		if latest.Before(at) {
+			at = latest
+		}
+	}
+	return at
+}
+
+// earlier folds a pending's deadline into the running earliest.
+func earlier(earliest time.Time, p *pending) time.Time {
+	if p.deadline.IsZero() {
+		return earliest
+	}
+	if earliest.IsZero() || p.deadline.Before(earliest) {
+		return p.deadline
+	}
+	return earliest
+}
+
+// batcherLoop implements deadline-aware dynamic batching: it fuses
+// queued requests (highest-priority lane first) until the fused batch
+// reaches MaxBatch items, QueueDelay elapses since the first request,
+// or waiting any longer would make the batch's earliest deadline
+// unmeetable. Tensor-carrying and items-only requests are never fused
+// into the same batch (see hasInputs).
 func (rt *modelRuntime) batcherLoop(batches chan<- []*pending) {
 	defer close(batches)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	// stopTimer quiesces the window timer, draining a pending fire.
+	armed := false
+	stopTimer := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
 	for {
-		var first *pending
-		select {
-		case p := <-rt.queue:
-			first = p
-		case <-rt.closing:
+		first := rt.recv()
+		if first == nil {
 			rt.drainQueue(batches)
 			return
 		}
 		batch := []*pending{first}
 		items := first.req.Items
 		real := hasInputs(first)
-		deadline := time.NewTimer(rt.cfg.QueueDelay)
+		earliest := earlier(time.Time{}, first)
+		windowEnd := time.Now().Add(rt.cfg.QueueDelay)
+		at := rt.fireAt(windowEnd, earliest, items)
+		timer.Reset(time.Until(at))
+		armed = true
 	fill:
 		for items < rt.cfg.MaxBatch {
-			select {
-			case p := <-rt.queue:
-				if items+p.req.Items > rt.cfg.MaxBatch || hasInputs(p) != real {
-					// Dispatch current batch; start the next with p.
-					if !rt.dispatch(batches, batch) {
-						rt.failPending(p)
-						deadline.Stop()
-						rt.drainQueue(batches)
-						return
-					}
-					batch = []*pending{p}
-					items = p.req.Items
-					real = hasInputs(p)
-					if !deadline.Stop() {
-						<-deadline.C
-					}
-					deadline.Reset(rt.cfg.QueueDelay)
-					continue
+			p := rt.poll()
+			if p == nil {
+				select {
+				case p = <-rt.queues[ClassRealtime]:
+				case p = <-rt.queues[ClassOnline]:
+				case p = <-rt.queues[ClassOffline]:
+				case <-timer.C:
+					armed = false
+					break fill
+				case <-rt.closing:
+					// Shutdown: dispatch what we have immediately.
+					break fill
 				}
-				batch = append(batch, p)
-				items += p.req.Items
-			case <-deadline.C:
-				break fill
-			case <-rt.closing:
-				// Shutdown: dispatch what we have immediately.
-				break fill
+			}
+			if items+p.req.Items > rt.cfg.MaxBatch || hasInputs(p) != real {
+				// Dispatch current batch; start the next with p.
+				stopTimer()
+				if !rt.dispatch(batches, batch) {
+					rt.failPending(p)
+					rt.drainQueue(batches)
+					return
+				}
+				batch = []*pending{p}
+				items = p.req.Items
+				real = hasInputs(p)
+				earliest = earlier(time.Time{}, p)
+				windowEnd = time.Now().Add(rt.cfg.QueueDelay)
+				at = rt.fireAt(windowEnd, earliest, items)
+				timer.Reset(time.Until(at))
+				armed = true
+				continue
+			}
+			batch = append(batch, p)
+			items += p.req.Items
+			// Growth can only move the dispatch point earlier: a larger
+			// batch executes longer, and a new earliest deadline leaves
+			// less slack.
+			earliest = earlier(earliest, p)
+			if next := rt.fireAt(windowEnd, earliest, items); next.Before(at) {
+				stopTimer()
+				at = next
+				timer.Reset(time.Until(at))
+				armed = true
 			}
 		}
-		deadline.Stop()
+		stopTimer()
 		if !rt.dispatch(batches, batch) {
 			rt.drainQueue(batches)
 			return
@@ -333,7 +585,7 @@ func (rt *modelRuntime) batcherLoop(batches chan<- []*pending) {
 
 // drainQueue is the graceful-shutdown path: it keeps fusing and
 // dispatching whatever is already queued (so queued work is served,
-// not failed) until the queue is empty or the drain deadline aborts.
+// not failed) until the lanes are empty or the drain deadline aborts.
 func (rt *modelRuntime) drainQueue(batches chan<- []*pending) {
 	for {
 		select {
@@ -345,27 +597,25 @@ func (rt *modelRuntime) drainQueue(batches chan<- []*pending) {
 		var batch []*pending
 		items := 0
 		real := false
-	gather:
 		for items < rt.cfg.MaxBatch {
-			select {
-			case p := <-rt.queue:
-				if batch != nil && (items+p.req.Items > rt.cfg.MaxBatch || hasInputs(p) != real) {
-					if !rt.dispatch(batches, batch) {
-						rt.failPending(p)
-						rt.failQueued()
-						return
-					}
-					batch = nil
-					items = 0
-				}
-				if batch == nil {
-					real = hasInputs(p)
-				}
-				batch = append(batch, p)
-				items += p.req.Items
-			default:
-				break gather
+			p := rt.poll()
+			if p == nil {
+				break
 			}
+			if batch != nil && (items+p.req.Items > rt.cfg.MaxBatch || hasInputs(p) != real) {
+				if !rt.dispatch(batches, batch) {
+					rt.failPending(p)
+					rt.failQueued()
+					return
+				}
+				batch = nil
+				items = 0
+			}
+			if batch == nil {
+				real = hasInputs(p)
+			}
+			batch = append(batch, p)
+			items += p.req.Items
 		}
 		if batch == nil {
 			return
@@ -377,15 +627,14 @@ func (rt *modelRuntime) drainQueue(batches chan<- []*pending) {
 	}
 }
 
-// failQueued fails everything still sitting in the queue.
+// failQueued fails everything still sitting in the lanes.
 func (rt *modelRuntime) failQueued() {
 	for {
-		select {
-		case p := <-rt.queue:
-			rt.failPending(p)
-		default:
+		p := rt.poll()
+		if p == nil {
 			return
 		}
+		rt.failPending(p)
 	}
 }
 
@@ -408,7 +657,34 @@ func (rt *modelRuntime) instanceLoop(batches <-chan []*pending) {
 	}
 }
 
+// evictExpired drops batch members whose remaining slack no longer
+// covers the batch's modeled execution time. dispatch performs the same
+// check, but a dispatched batch can still wait behind earlier batches
+// for a free instance; re-checking at execution start is what turns "a
+// served response met its deadline" from a dispatch-time approximation
+// into a guarantee.
+func (rt *modelRuntime) evictExpired(batch []*pending) []*pending {
+	items := 0
+	for _, p := range batch {
+		items += p.req.Items
+	}
+	horizon := time.Now().Add(rt.estimatedExecDuration(items))
+	live := batch[:0]
+	for _, p := range batch {
+		if !p.deadline.IsZero() && horizon.After(p.deadline) {
+			rt.met.expired.Inc()
+			p.err <- fmt.Errorf("%w: model %s, evicted at execution start", ErrDeadlineExpired, rt.cfg.Name)
+			continue
+		}
+		live = append(live, p)
+	}
+	return live
+}
+
 func (rt *modelRuntime) runBatch(batch []*pending) {
+	if batch = rt.evictExpired(batch); len(batch) == 0 {
+		return
+	}
 	items := 0
 	var inputs [][]float32
 	for _, p := range batch {
@@ -471,7 +747,7 @@ func (rt *modelRuntime) runBatch(batch []*pending) {
 			Model:          rt.cfg.Name,
 			Items:          p.req.Items,
 			QueueSeconds:   queueSec,
-			ComputeSeconds: st.Seconds,
+			ComputeSeconds: computeSec,
 			BatchSize:      items,
 		}
 		if outputs != nil && len(p.req.Inputs) > 0 {
@@ -479,17 +755,38 @@ func (rt *modelRuntime) runBatch(batch []*pending) {
 			outOff += len(p.req.Inputs)
 		}
 		rt.met.queueLat.Observe(queueSec)
+		rt.met.classQueueLat[p.class].Observe(queueSec)
 		rt.met.requests.Inc()
 		rt.met.items.Add(int64(p.req.Items))
 		p.done <- resp
 	}
 }
 
+// resolveDeadline picks a pending's effective deadline: the request's
+// explicit deadline, else the context's, else the class default
+// (realtime only).
+func (rt *modelRuntime) resolveDeadline(ctx context.Context, req *Request) time.Time {
+	if !req.Deadline.IsZero() {
+		return req.Deadline
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		return dl
+	}
+	if req.Class == ClassRealtime && rt.cfg.RealtimeBudget > 0 {
+		return time.Now().Add(rt.cfg.RealtimeBudget)
+	}
+	return time.Time{}
+}
+
 // Submit sends a request and blocks until its response, the context's
-// cancellation, or server shutdown. A request whose context ends while
-// it is still queued is withdrawn from the batcher and never occupies
-// a dispatched batch slot; once a batch has claimed it, Submit waits
-// for that batch's outcome.
+// cancellation, or server shutdown. Admission is bounded: when the
+// model's queue already holds MaxQueueDepth requests, Submit rejects
+// immediately with ErrOverloaded instead of blocking. A request whose
+// context ends while it is still queued is withdrawn from the batcher
+// and never occupies a dispatched batch slot; once a batch has claimed
+// it, Submit waits for that batch's outcome. An admitted request whose
+// deadline passes before execution could complete is shed with
+// ErrDeadlineExpired.
 func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	if req.Items <= 0 && len(req.Inputs) == 0 {
 		return nil, ErrEmptyRequest
@@ -499,6 +796,9 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	}
 	if len(req.Inputs) > 0 && req.Items != len(req.Inputs) {
 		return nil, fmt.Errorf("%w: items=%d, inputs=%d", ErrItemsMismatch, req.Items, len(req.Inputs))
+	}
+	if req.Class < 0 || req.Class >= numClasses {
+		return nil, fmt.Errorf("%w: %d", ErrBadClass, int(req.Class))
 	}
 	s.mu.Lock()
 	rt, ok := s.models[req.Model]
@@ -513,27 +813,47 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	if req.Items > rt.cfg.MaxBatch {
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyItems, req.Items, rt.cfg.MaxBatch)
 	}
+	select {
+	case <-rt.closing:
+		return nil, ErrServerClosed
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	deadline := rt.resolveDeadline(ctx, req)
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		// Dead on arrival: shed without occupying a queue slot.
+		rt.met.expired.Inc()
+		return nil, fmt.Errorf("%w: model %s, expired on submit", ErrDeadlineExpired, rt.cfg.Name)
+	}
+	if !rt.admit() {
+		rt.met.shed.Inc()
+		return nil, fmt.Errorf("%w: model %s, queue depth %d", ErrOverloaded, rt.cfg.Name, rt.cfg.MaxQueueDepth)
+	}
 	p := &pending{
 		req:      req,
+		class:    req.Class,
+		deadline: deadline,
 		enqueued: time.Now(),
 		done:     make(chan *Response, 1),
 		err:      make(chan error, 1),
 	}
-	rt.inflight.Add(1)
 	select {
-	case rt.queue <- p:
-	case <-ctx.Done():
+	case rt.queues[req.Class] <- p:
+	default:
+		// Unreachable in practice: admit() bounds lane occupancy below
+		// capacity. Kept as a safety net against accounting bugs.
 		rt.inflight.Add(-1)
-		return nil, ctx.Err()
-	case <-rt.closing:
-		rt.inflight.Add(-1)
-		return nil, ErrServerClosed
+		rt.met.shed.Inc()
+		return nil, fmt.Errorf("%w: model %s, lane %s full", ErrOverloaded, rt.cfg.Name, req.Class)
 	}
 	// Once enqueued, the request is guaranteed an outcome: the batcher
-	// either claims it (response or backend error arrives) or the
-	// shutdown path fails it. Queued work is drained, not abandoned, so
-	// shutdown-in-progress is not a wait condition; only a fully
-	// drained runtime (the enqueue raced past the batcher's exit) is.
+	// either claims it (response, shed, or backend error arrives) or
+	// the shutdown path fails it. Queued work is drained, not
+	// abandoned, so shutdown-in-progress is not a wait condition; only
+	// a fully drained runtime (the enqueue raced past the batcher's
+	// exit) is.
 	select {
 	case resp := <-p.done:
 		return resp, nil
@@ -636,17 +956,30 @@ func (s *Server) Metrics() []ModelMetrics {
 }
 
 func (rt *modelRuntime) snapshot() ModelMetrics {
-	return ModelMetrics{
+	m := ModelMetrics{
 		Model:          rt.cfg.Name,
 		Requests:       rt.met.requests.Load(),
 		Items:          rt.met.items.Load(),
 		Batches:        rt.met.batches.Load(),
 		Errors:         rt.met.errors.Load(),
 		Cancelled:      rt.met.cancelled.Load(),
+		Shed:           rt.met.shed.Load(),
+		Expired:        rt.met.expired.Load(),
 		QueueDepth:     rt.inflight.Load(),
 		QueueLatency:   rt.met.queueLat.Summary(),
 		ComputeLatency: rt.met.computeLat.Summary(),
 	}
+	for c := Class(0); c < numClasses; c++ {
+		sum := rt.met.classQueueLat[c].Summary()
+		if sum.N == 0 {
+			continue
+		}
+		if m.ClassQueueLatency == nil {
+			m.ClassQueueLatency = make(map[string]stats.Summary, int(numClasses))
+		}
+		m.ClassQueueLatency[c.String()] = sum
+	}
+	return m
 }
 
 // Close stops the server gracefully: new submissions are rejected,
@@ -699,7 +1032,7 @@ func (rt *modelRuntime) shutdown() {
 		close(rt.abort)
 		<-done
 	}
-	// Fail anything that slipped into the queue after the batcher
+	// Fail anything that slipped into the lanes after the batcher
 	// exited; submitters racing Close also observe rt.closing, and
 	// anything enqueued after this final sweep is claimed by its own
 	// submitter via rt.drained.
