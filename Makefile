@@ -13,9 +13,10 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# Race-check the concurrency-heavy packages (serving path + pipeline).
+# Race-check the concurrency-heavy packages (serving path incl. the
+# replica-pool router, pipeline, and the live sim-vs-real validation).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/pipeline/...
+	$(GO) test -race ./internal/serve/... ./internal/pipeline/... ./internal/scaleout/...
 
 # The CI gate: tier-1 tests plus vet and the race suite.
 check: build vet test race

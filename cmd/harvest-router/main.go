@@ -1,0 +1,109 @@
+// Command harvest-router runs the replica-pool router: a
+// health-checked load balancer over multiple harvest-serve backends,
+// exposing the same /v2/* surface as a single server so any client of
+// harvest-serve works unchanged against it. Placement is
+// queue-depth-aware and scenario-class-aware (realtime to the
+// least-loaded replica, offline spilled to busy/draining ones),
+// failing replicas are ejected after consecutive errors and readmitted
+// via half-open probes, and in-flight requests fail over to surviving
+// replicas.
+//
+// Usage:
+//
+//	harvest-router -replicas http://127.0.0.1:8000,http://127.0.0.1:8001
+//	               [-addr :8100] [-probe-interval 250ms] [-eject-after 3]
+//	               [-ejection-duration 2s] [-drain-timeout 5s]
+//	               [-read-header-timeout 5s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"harvest/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("harvest-router: ")
+	var (
+		addr          = flag.String("addr", ":8100", "listen address")
+		replicasArg   = flag.String("replicas", "", "comma-separated replica base URLs (required)")
+		probeInterval = flag.Duration("probe-interval", serve.DefaultProbeInterval,
+			"period of per-replica readiness probes and metrics refreshes")
+		ejectAfter = flag.Int("eject-after", serve.DefaultEjectAfter,
+			"consecutive errors before a replica is ejected")
+		ejectionDuration = flag.Duration("ejection-duration", serve.DefaultEjectionDuration,
+			"how long an ejected replica sits out before a half-open recovery probe")
+		drainTimeout = flag.Duration("drain-timeout", serve.DefaultDrainTimeout,
+			"how long shutdown waits for in-flight proxied requests")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second,
+			"per-connection header read timeout (slowloris guard)")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicasArg, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("no replicas: pass -replicas http://host:port[,http://host:port...]")
+	}
+	router, err := serve.NewRouter(urls, serve.RouterConfig{
+		Pool: serve.PoolConfig{
+			ProbeInterval:    *probeInterval,
+			EjectAfter:       *ejectAfter,
+			EjectionDuration: *ejectionDuration,
+		},
+		DrainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("routing across %d replica(s): %s", len(urls), strings.Join(urls, ", "))
+	log.Printf("serving on %s (aggregated metrics at /v2/metrics)", *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		router.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining HTTP then in-flight routed requests (timeout %s)", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	met := router.Metrics(context.Background())
+	router.Close()
+	log.Printf("router: requests=%d errors=%d failovers=%d spills=%d healthy=%d/%d, "+
+		"latency p50/p95/p99 = %.2f/%.2f/%.2f ms",
+		met.Router.Requests, met.Router.Errors, met.Router.Failovers, met.Router.Spills,
+		met.Router.HealthyReplicas, len(met.Router.Replicas),
+		met.Router.LatencyMs.P50Ms, met.Router.LatencyMs.P95Ms, met.Router.LatencyMs.P99Ms)
+	for _, m := range met.Models {
+		log.Printf("%s (all replicas): requests=%d items=%d batches=%d errors=%d shed=%d expired=%d",
+			m.Model, m.Requests, m.Items, m.Batches, m.Errors, m.Shed, m.Expired)
+	}
+}

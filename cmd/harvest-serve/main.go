@@ -10,6 +10,7 @@
 //	              [-models ViT_Tiny,ResNet50] [-queue-delay 2ms]
 //	              [-instances 1] [-timescale 1.0] [-drain-timeout 5s]
 //	              [-max-queue-depth 1024] [-realtime-slo 16.7ms]
+//	              [-read-header-timeout 5s]
 package main
 
 import (
@@ -44,6 +45,8 @@ func main() {
 			"per-model admission queue bound; a full queue sheds with HTTP 429")
 		realtimeSLO = flag.Duration("realtime-slo", serve.DefaultRealtimeBudget,
 			"implicit deadline for realtime-class requests (negative disables)")
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second,
+			"per-connection header read timeout (slowloris guard)")
 	)
 	flag.Parse()
 
@@ -74,7 +77,15 @@ func main() {
 	}
 	log.Printf("platform %s, serving on %s (metrics at /v2/metrics)", *platform, *addr)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Bound header reads and idle keep-alives so stalled connections
+	// (slowloris) cannot exhaust the listener; request bodies stay
+	// unbounded in time because infer requests legitimately queue.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package scaleout
+
+const raceEnabled = false

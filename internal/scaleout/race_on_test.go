@@ -1,0 +1,9 @@
+//go:build race
+
+package scaleout
+
+// raceEnabled reports whether the race detector is compiled in; the
+// live-tier validation test relaxes its time compression under it
+// (instrumentation overhead would otherwise swamp the compressed
+// horizon).
+const raceEnabled = true

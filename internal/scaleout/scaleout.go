@@ -5,10 +5,16 @@
 // strategies". Replicated engines behind a least-loaded dispatcher are
 // simulated under open-loop Poisson load with the discrete-event
 // simulator, yielding throughput and queueing-latency distributions.
+//
+// Validate closes the loop between the model and the real system: it
+// replays the same seeded trace against a live router-fronted tier of
+// harvest-serve replicas and reports sim-vs-real throughput/P99
+// deltas (recorded in EXPERIMENTS.md).
 package scaleout
 
 import (
 	"fmt"
+	"math"
 
 	"harvest/internal/engine"
 	"harvest/internal/hw"
@@ -50,7 +56,9 @@ type Result struct {
 	// including queueing.
 	MeanLatencySeconds float64
 	P99LatencySeconds  float64
-	// Utilization is replica busy time / (replicas * horizon).
+	// Utilization is replica busy time *within the horizon* divided by
+	// (replicas * horizon): a batch still executing when the horizon
+	// closes contributes the busy time it accrued inside it.
 	Utilization float64
 	Completed   int
 }
@@ -95,10 +103,19 @@ func Run(cfg Config) (Result, error) {
 
 	var latencies []float64
 	completed := 0
+	busyInHorizon := 0.0
 	for _, a := range trace {
 		arrival := a.Time
 		s.Schedule(arrival, func() {
-			pool.Submit(serviceTime, func(_, end float64) {
+			pool.Submit(serviceTime, func(start, end float64) {
+				// Busy time is clipped to the horizon: counting only
+				// batches that *complete* inside it would bias
+				// utilization low exactly at saturation, where the
+				// most work is still in flight when the horizon
+				// closes.
+				if clipped := math.Min(end, cfg.HorizonSeconds) - math.Min(start, cfg.HorizonSeconds); clipped > 0 {
+					busyInHorizon += clipped
+				}
 				// Only completions inside the measurement horizon
 				// count; work still queued at the horizon is backlog,
 				// not throughput.
@@ -117,9 +134,7 @@ func Run(cfg Config) (Result, error) {
 		Batch:            batch,
 		OfferedImgPerSec: cfg.OfferedBatchesPerSec * float64(batch),
 		Completed:        completed,
-		// Equal service times: utilization is completed work over
-		// replica-seconds within the horizon.
-		Utilization: float64(completed) * serviceTime / (float64(cfg.Replicas) * cfg.HorizonSeconds),
+		Utilization:      busyInHorizon / (float64(cfg.Replicas) * cfg.HorizonSeconds),
 	}
 	if completed > 0 {
 		res.Throughput = float64(completed*batch) / cfg.HorizonSeconds

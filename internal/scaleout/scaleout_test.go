@@ -112,6 +112,27 @@ func TestAutoBatchUsesOOMBoundary(t *testing.T) {
 	}
 }
 
+// TestUtilizationAtSaturationNotBiasedLow: busy time is clipped to the
+// horizon, so a saturated pool reports ~1.0 even when batches are
+// still executing when the horizon closes. The old accounting counted
+// only *completed* batches' service time, which at saturation with
+// service times comparable to the horizon under-reported utilization
+// by up to one batch per replica.
+func TestUtilizationAtSaturationNotBiasedLow(t *testing.T) {
+	res, err := Run(Config{
+		Platform: hw.Jetson(), Model: models.NameViTBase,
+		Replicas: 1, Batch: 8,
+		OfferedBatchesPerSec: 1000, // far past capacity: never idle
+		HorizonSeconds:       1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization < 0.97 || res.Utilization > 1.0000001 {
+		t.Errorf("saturated utilization %v, want ~1.0 (busy time clipped to horizon)", res.Utilization)
+	}
+}
+
 func TestSaturationSweep(t *testing.T) {
 	results, err := SaturationSweep(Config{
 		Platform: hw.A100(), Model: models.NameResNet50,

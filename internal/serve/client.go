@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -24,19 +25,55 @@ type Client struct {
 	// RetryBackoff is the initial backoff between retries, doubled per
 	// attempt. 0 means defaultRetryBackoff.
 	RetryBackoff time.Duration
+	// RequestTimeout bounds one HTTP attempt when the request carries
+	// no deadline of its own. Requests with a deadline_ms instead get a
+	// per-attempt timeout of deadline + a fixed slack, so a tight SLO
+	// is not fought by a long global cap and a long offline deadline is
+	// not cut short by it. 0 means defaultRequestTimeout; negative
+	// disables the attempt timeout entirely.
+	RequestTimeout time.Duration
 }
 
 const (
-	defaultMaxRetries   = 3
-	defaultRetryBackoff = 25 * time.Millisecond
+	defaultMaxRetries     = 3
+	defaultRetryBackoff   = 25 * time.Millisecond
+	defaultRequestTimeout = 60 * time.Second
+	// deadlineSlack pads a deadline-derived attempt timeout: the server
+	// answers an unmeetable deadline with 504 almost immediately, but
+	// the response still has to cross the network.
+	deadlineSlack = time.Second
 )
 
+// NewTransport returns an HTTP transport tuned for serving fan-out:
+// enough idle connections per host that a router probing and proxying
+// to many replicas reuses connections instead of exhausting ephemeral
+// ports, and bounded dial/handshake times so a dead replica fails fast.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   64,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
 // NewClient creates a client for the given base URL (e.g.
-// "http://127.0.0.1:8000").
+// "http://127.0.0.1:8000"). The underlying transport is owned by the
+// client; replace or share one via the HTTP field (a router fanning
+// out to many replicas should share a single NewTransport across its
+// per-replica clients). Attempt timeouts are per-request (see
+// RequestTimeout), not a global http.Client.Timeout, so per-request
+// deadlines are honored.
 func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL: baseURL,
-		HTTP:    &http.Client{Timeout: 60 * time.Second},
+		HTTP:    &http.Client{Transport: NewTransport()},
 	}
 }
 
@@ -56,6 +93,67 @@ func (c *Client) backoff() time.Duration {
 		return defaultRetryBackoff
 	}
 	return c.RetryBackoff
+}
+
+// requestTimeout resolves the no-deadline attempt timeout.
+func (c *Client) requestTimeout() time.Duration {
+	if c.RequestTimeout < 0 {
+		return 0
+	}
+	if c.RequestTimeout == 0 {
+		return defaultRequestTimeout
+	}
+	return c.RequestTimeout
+}
+
+// attemptCtx bounds one HTTP attempt: by the request's own deadline
+// plus slack when it carries one, by RequestTimeout otherwise.
+func (c *Client) attemptCtx(ctx context.Context, deadlineMs float64) (context.Context, context.CancelFunc) {
+	timeout := c.requestTimeout()
+	if deadlineMs > 0 {
+		if t := time.Duration(deadlineMs*float64(time.Millisecond)) + deadlineSlack; timeout == 0 || t < timeout {
+			timeout = t
+		}
+	}
+	if timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// StatusError reports a non-2xx HTTP response from the server,
+// preserving the status code so callers (the replica router in
+// particular) can distinguish replica faults (5xx, eject-worthy) from
+// backpressure (429, spill elsewhere) and caller errors (4xx, final).
+type StatusError struct {
+	Code int
+	Msg  string
+	// base is the matching sentinel error (ErrOverloaded,
+	// ErrDeadlineExpired, ErrServerClosed) when the code maps to one.
+	base error
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("serve: HTTP %d: %s", e.Code, e.Msg)
+	}
+	return fmt.Sprintf("serve: HTTP %d", e.Code)
+}
+
+func (e *StatusError) Unwrap() error { return e.base }
+
+// statusError builds the StatusError for a non-OK response.
+func statusError(code int, msg string) *StatusError {
+	e := &StatusError{Code: code, Msg: msg}
+	switch code {
+	case http.StatusTooManyRequests:
+		e.base = ErrOverloaded
+	case http.StatusGatewayTimeout:
+		e.base = ErrDeadlineExpired
+	case http.StatusServiceUnavailable:
+		e.base = ErrServerClosed
+	}
+	return e
 }
 
 // drainClose exhausts and closes a response body so the underlying
@@ -99,6 +197,8 @@ func (r *retryableError) Error() string { return r.err.Error() }
 func (r *retryableError) Unwrap() error { return r.err }
 
 func (c *Client) getJSONOnce(ctx context.Context, path string, out any) error {
+	ctx, cancel := c.attemptCtx(ctx, 0)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return err
@@ -231,6 +331,8 @@ func (c *Client) inferOnce(ctx context.Context, model string, body InferRequestJ
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := c.attemptCtx(ctx, body.DeadlineMs)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.BaseURL+FormatInferPath(model), bytes.NewReader(payload))
 	if err != nil {
@@ -248,23 +350,15 @@ func (c *Client) inferOnce(ctx context.Context, model string, body InferRequestJ
 		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil {
 			msg = e.Error
 		}
-		switch resp.StatusCode {
-		case http.StatusTooManyRequests:
+		se := statusError(resp.StatusCode, msg)
+		if resp.StatusCode == http.StatusTooManyRequests {
 			var after time.Duration
 			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
 				after = time.Duration(sec) * time.Second
 			}
-			return nil, &overloadError{
-				err:        fmt.Errorf("%w: HTTP 429: %s", ErrOverloaded, msg),
-				retryAfter: after,
-			}
-		case http.StatusGatewayTimeout:
-			return nil, fmt.Errorf("%w: HTTP 504: %s", ErrDeadlineExpired, msg)
+			return nil, &overloadError{err: se, retryAfter: after}
 		}
-		if msg != "" {
-			return nil, fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, msg)
-		}
-		return nil, fmt.Errorf("serve: HTTP %d", resp.StatusCode)
+		return nil, se
 	}
 	var out InferResponseJSON
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Replica health states. A replica starts healthy, is ejected after
+// EjectAfter consecutive errors (circuit open), and re-enters service
+// through a half-open probe once its ejection window lapses.
+const (
+	replicaHealthy int32 = iota
+	replicaEjected
+)
+
+// Pool defaults.
+const (
+	// DefaultProbeInterval is the period of the per-replica health loop
+	// (readiness probe + /v2/metrics refresh).
+	DefaultProbeInterval = 250 * time.Millisecond
+	// DefaultEjectAfter is the consecutive-error threshold that ejects
+	// a replica from dispatch.
+	DefaultEjectAfter = 3
+	// DefaultEjectionDuration is how long an ejected replica sits out
+	// before a half-open probe may readmit it.
+	DefaultEjectionDuration = 2 * time.Second
+	// DefaultProbeTimeout bounds one readiness/metrics probe.
+	DefaultProbeTimeout = 2 * time.Second
+)
+
+// PoolConfig configures replica health checking and outlier ejection.
+type PoolConfig struct {
+	// ProbeInterval is the health-loop period (default
+	// DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// EjectAfter ejects a replica after this many consecutive errors
+	// (probe failures, transport errors, 5xx responses). Default
+	// DefaultEjectAfter.
+	EjectAfter int
+	// EjectionDuration is how long an ejection lasts before the health
+	// loop half-opens the circuit with a single readiness probe:
+	// success readmits the replica, failure re-ejects it for another
+	// window. Default DefaultEjectionDuration.
+	EjectionDuration time.Duration
+	// ProbeTimeout bounds one probe round trip (default
+	// DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// Transport, when non-nil, is shared by every per-replica client
+	// (fan-out reuses one connection pool). nil means NewTransport().
+	Transport http.RoundTripper
+}
+
+func (cfg *PoolConfig) fillDefaults() {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = DefaultEjectAfter
+	}
+	if cfg.EjectionDuration <= 0 {
+		cfg.EjectionDuration = DefaultEjectionDuration
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewTransport()
+	}
+}
+
+// Replica is one backend in a Pool: a serve.Client plus health and
+// load state maintained by the health loop and the request path.
+type Replica struct {
+	Name string
+	URL  string
+
+	client *Client
+	pool   *Pool
+
+	state        atomic.Int32 // replicaHealthy / replicaEjected
+	consecErrs   atomic.Int32
+	ejectedUntil atomic.Int64 // unix nanos; valid while state == replicaEjected
+	ejections    atomic.Int64 // total ejections (observability)
+	inflight     atomic.Int64 // router-proxied requests currently on this replica
+	metrics      atomic.Pointer[MetricsJSON]
+}
+
+// Client returns the replica's HTTP client.
+func (rep *Replica) Client() *Client { return rep.client }
+
+// Healthy reports whether the replica is in dispatch rotation.
+func (rep *Replica) Healthy() bool { return rep.state.Load() == replicaHealthy }
+
+// score is the replica's load estimate for one model and the dispatch
+// key of the least-loaded policy: requests the router currently has in
+// flight on the replica (immediate, covers the window between metrics
+// refreshes) plus the replica's last-reported admission-queue depth
+// (covers load from other frontends).
+func (rep *Replica) score(model string) float64 {
+	s := float64(rep.inflight.Load())
+	if m := rep.metrics.Load(); m != nil {
+		for _, mm := range m.Models {
+			if mm.Model == model {
+				s += float64(mm.QueueDepth)
+				break
+			}
+		}
+	}
+	return s
+}
+
+// noteError records a request/probe failure attributable to the
+// replica. Crossing the consecutive-error threshold ejects it.
+func (rep *Replica) noteError() {
+	n := rep.consecErrs.Add(1)
+	if int(n) >= rep.pool.cfg.EjectAfter {
+		rep.eject()
+	}
+}
+
+// noteSuccess records a successful round trip, closing the circuit:
+// an ejected replica that answers (a half-open probe or a
+// no-healthy-replica fallback request) is readmitted immediately.
+func (rep *Replica) noteSuccess() {
+	rep.consecErrs.Store(0)
+	rep.state.Store(replicaHealthy)
+}
+
+// eject opens the circuit for a fresh ejection window.
+func (rep *Replica) eject() {
+	rep.ejectedUntil.Store(time.Now().Add(rep.pool.cfg.EjectionDuration).UnixNano())
+	if rep.state.Swap(replicaEjected) != replicaEjected {
+		rep.ejections.Add(1)
+	}
+}
+
+// halfOpenDue reports whether the ejection window has lapsed, making
+// the replica eligible for a recovery probe.
+func (rep *Replica) halfOpenDue() bool {
+	return rep.state.Load() == replicaEjected &&
+		time.Now().UnixNano() >= rep.ejectedUntil.Load()
+}
+
+// ReplicaStatus is a point-in-time snapshot of one replica.
+type ReplicaStatus struct {
+	Name              string
+	URL               string
+	Healthy           bool
+	ConsecutiveErrors int
+	Ejections         int64
+	Inflight          int64
+	// QueueDepth sums the replica's last-reported per-model admission
+	// queue depths (-1 when no metrics snapshot has been fetched yet).
+	QueueDepth int64
+}
+
+func (rep *Replica) status() ReplicaStatus {
+	st := ReplicaStatus{
+		Name:              rep.Name,
+		URL:               rep.URL,
+		Healthy:           rep.Healthy(),
+		ConsecutiveErrors: int(rep.consecErrs.Load()),
+		Ejections:         rep.ejections.Load(),
+		Inflight:          rep.inflight.Load(),
+		QueueDepth:        -1,
+	}
+	if m := rep.metrics.Load(); m != nil {
+		st.QueueDepth = 0
+		for _, mm := range m.Models {
+			st.QueueDepth += mm.QueueDepth
+		}
+	}
+	return st
+}
+
+// Pool is a health-checked replica set. It owns one goroutine per
+// replica running periodic readiness probes and /v2/metrics refreshes,
+// and serves load-aware replica picks to the Router.
+type Pool struct {
+	cfg      PoolConfig
+	replicas []*Replica
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewPool builds a pool over the given backend base URLs and starts
+// its health loops. Every per-replica client shares one transport.
+func NewPool(urls []string, cfg PoolConfig) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("serve: pool needs at least one replica URL")
+	}
+	cfg.fillDefaults()
+	p := &Pool{cfg: cfg, stop: make(chan struct{})}
+	for i, u := range urls {
+		rep := &Replica{
+			Name: fmt.Sprintf("r%d", i),
+			URL:  u,
+			pool: p,
+			client: &Client{
+				BaseURL: u,
+				HTTP:    &http.Client{Transport: cfg.Transport},
+				// The router does its own failover and 429 spilling;
+				// client-level retries would fight it.
+				MaxRetries: -1,
+			},
+		}
+		p.replicas = append(p.replicas, rep)
+	}
+	for _, rep := range p.replicas {
+		p.wg.Add(1)
+		go func(rep *Replica) {
+			defer p.wg.Done()
+			p.healthLoop(rep)
+		}(rep)
+	}
+	return p, nil
+}
+
+// Replicas returns the pool members (fixed after construction).
+func (p *Pool) Replicas() []*Replica { return p.replicas }
+
+// Status snapshots every replica.
+func (p *Pool) Status() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(p.replicas))
+	for i, rep := range p.replicas {
+		out[i] = rep.status()
+	}
+	return out
+}
+
+// HealthyCount counts replicas currently in dispatch rotation.
+func (p *Pool) HealthyCount() int {
+	n := 0
+	for _, rep := range p.replicas {
+		if rep.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the health loops. It does not touch the replicas.
+func (p *Pool) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+}
+
+// healthLoop probes one replica forever: readiness (+ metrics refresh)
+// while healthy, and half-open recovery probes once an ejection window
+// lapses.
+func (p *Pool) healthLoop(rep *Replica) {
+	ticker := time.NewTicker(p.cfg.ProbeInterval)
+	defer ticker.Stop()
+	p.probe(rep)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.probe(rep)
+		}
+	}
+}
+
+func (p *Pool) probe(rep *Replica) {
+	if rep.state.Load() == replicaEjected && !rep.halfOpenDue() {
+		return // sitting out its ejection window
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+	defer cancel()
+	if !rep.client.Ready(ctx) {
+		if rep.state.Load() == replicaEjected {
+			// Failed half-open probe: re-eject for a fresh window.
+			rep.eject()
+		} else {
+			rep.noteError()
+		}
+		return
+	}
+	rep.noteSuccess()
+	// Refresh the load snapshot feeding least-loaded dispatch. Best
+	// effort: a stale snapshot only degrades placement, not health.
+	if m, err := rep.client.Metrics(ctx); err == nil {
+		rep.metrics.Store(m)
+	}
+}
+
+// pick selects the dispatch target for one request, skipping replicas
+// the request already tried. Healthy replicas are preferred:
+// latency-sensitive lanes (realtime, online) take the least-loaded
+// one, while offline work spills to the *most* loaded — drained and
+// slow replicas soak up throughput-oriented batches, keeping the
+// fast path clear for deadline traffic (the paper's §2.2 scenario
+// split). With no healthy candidate left, any untried replica is
+// returned as a last resort; a success there readmits it (request-path
+// half-open).
+func (p *Pool) pick(model string, class Class, tried map[*Replica]bool) *Replica {
+	var best *Replica
+	var bestScore float64
+	for _, rep := range p.replicas {
+		if tried[rep] || !rep.Healthy() {
+			continue
+		}
+		s := rep.score(model)
+		if best == nil {
+			best, bestScore = rep, s
+			continue
+		}
+		if (class == ClassOffline && s > bestScore) ||
+			(class != ClassOffline && s < bestScore) {
+			best, bestScore = rep, s
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Fallback: least-loaded among the untried regardless of health.
+	for _, rep := range p.replicas {
+		if tried[rep] {
+			continue
+		}
+		if s := rep.score(model); best == nil || s < bestScore {
+			best, bestScore = rep, s
+		}
+	}
+	return best
+}

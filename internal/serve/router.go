@@ -1,0 +1,514 @@
+// Replica-pool router: the horizontal scale-out tier of the serving
+// stack. A Router fronts multiple harvest-serve backends behind the
+// same /v2/* surface a single Server exposes, so serve.Client works
+// unchanged against either. Placement is queue-depth-aware and
+// scenario-class-aware (pool.go), failed replicas are ejected and
+// recovered via half-open probes, and in-flight requests fail over to
+// the surviving replicas — the real counterpart of the
+// internal/scaleout least-loaded dispatcher model.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"harvest/internal/metrics"
+)
+
+// ErrNoReplicas means every replica was tried (or none exists) and the
+// request could not be placed.
+var ErrNoReplicas = errors.New("serve: no replica available")
+
+// routerBodyLimit caps an infer body at the router. The router does
+// not know per-model tensor shapes; replicas enforce the precise
+// per-model cap, this only bounds memory per connection.
+const routerBodyLimit = 64 << 20
+
+// RouterConfig configures a replica-pool router.
+type RouterConfig struct {
+	// Pool configures health checking and ejection.
+	Pool PoolConfig
+	// MaxAttempts bounds how many replicas one request may try before
+	// failing. 0 means every replica once.
+	MaxAttempts int
+	// DrainTimeout bounds Close's wait for proxied requests still in
+	// flight. 0 means DefaultDrainTimeout; negative means no grace.
+	DrainTimeout time.Duration
+}
+
+// routerMetrics is router-level observability, on top of the
+// aggregated per-replica model metrics.
+type routerMetrics struct {
+	requests  metrics.Counter // proxied requests answered successfully
+	errors    metrics.Counter // proxied requests that ultimately failed
+	failovers metrics.Counter // replica faults that moved a request to another replica
+	spills    metrics.Counter // 429 rejections that moved a request to another replica
+	latency   metrics.LatencyRecorder
+}
+
+// Router load-balances inference across a health-checked replica pool.
+type Router struct {
+	cfg  RouterConfig
+	pool *Pool
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	met routerMetrics
+}
+
+// NewRouter builds a router over the given replica base URLs and
+// starts the pool's health loops.
+func NewRouter(urls []string, cfg RouterConfig) (*Router, error) {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = len(urls)
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	pool, err := NewPool(urls, cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Router{cfg: cfg, pool: pool}, nil
+}
+
+// Pool exposes the replica pool (status snapshots, tests).
+func (r *Router) Pool() *Pool { return r.pool }
+
+// begin registers one in-flight proxied request, refusing after Close.
+func (r *Router) begin() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.inflight.Add(1)
+	return true
+}
+
+// Close drains the router: new requests are refused with
+// ErrServerClosed, requests already being proxied get up to
+// DrainTimeout to finish, then the health loops stop. Replicas are
+// not touched — their own graceful drain (Server.Close) composes with
+// this one: drain the router first, then the replicas.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		r.inflight.Wait()
+		close(done)
+	}()
+	grace := r.cfg.DrainTimeout
+	if grace < 0 {
+		grace = 0
+	}
+	select {
+	case <-done:
+	case <-time.After(grace):
+	}
+	r.pool.Close()
+}
+
+// Infer routes one inference request. Placement is class-aware and
+// least-loaded (Pool.pick); on a replica fault (transport error, 5xx)
+// the replica is charged an error toward ejection and the request
+// fails over to the next candidate, and on a 429 the request spills to
+// the next candidate without charging the replica. 4xx responses and
+// 504 deadline expiries are final: the first is the caller's fault,
+// the second cannot be cured by a retry that spends even more of the
+// deadline.
+func (r *Router) Infer(ctx context.Context, model string, body InferRequestJSON) (*InferResponseJSON, error) {
+	if !r.begin() {
+		return nil, ErrServerClosed
+	}
+	defer r.inflight.Done()
+	start := time.Now()
+	class, err := ParseClass(body.Class)
+	if err != nil {
+		return nil, err
+	}
+	tried := make(map[*Replica]bool, r.cfg.MaxAttempts)
+	var lastErr error
+	overloaded := 0
+	var minRetryAfter time.Duration
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		rep := r.pool.pick(model, class, tried)
+		if rep == nil {
+			break
+		}
+		tried[rep] = true
+		rep.inflight.Add(1)
+		resp, err := rep.client.Infer(ctx, model, body)
+		rep.inflight.Add(-1)
+		if err == nil {
+			rep.noteSuccess()
+			r.met.requests.Inc()
+			r.met.latency.Observe(time.Since(start).Seconds())
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+		var oe *overloadError
+		if errors.As(err, &oe) {
+			// Backpressure, not a fault: the replica is alive and
+			// shedding. Spill to the next one.
+			overloaded++
+			if oe.retryAfter > 0 && (minRetryAfter == 0 || oe.retryAfter < minRetryAfter) {
+				minRetryAfter = oe.retryAfter
+			}
+			r.met.spills.Inc()
+			continue
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			if se.Code == http.StatusGatewayTimeout || se.Code < 500 {
+				r.met.errors.Inc()
+				return nil, err
+			}
+			// 5xx: replica fault — charge it and fail over.
+			rep.noteError()
+			r.met.failovers.Inc()
+			continue
+		}
+		// Transport-level failure (dial refused, connection reset
+		// mid-flight): the replica is gone or going; fail over.
+		rep.noteError()
+		r.met.failovers.Inc()
+	}
+	r.met.errors.Inc()
+	if lastErr == nil {
+		return nil, ErrNoReplicas
+	}
+	if overloaded == len(tried) && overloaded > 0 {
+		// Every candidate shed: surface a retryable 429, with the
+		// soonest Retry-After any replica offered.
+		return nil, &overloadError{
+			err:        fmt.Errorf("%w: all %d replicas overloaded: %w", ErrOverloaded, overloaded, lastErr),
+			retryAfter: minRetryAfter,
+		}
+	}
+	return nil, fmt.Errorf("serve: router: %d replica(s) failed: %w", len(tried), lastErr)
+}
+
+// Models returns the union of model names across replicas, preferring
+// live answers from healthy replicas and falling back to cached
+// metrics snapshots.
+func (r *Router) Models(ctx context.Context) ([]string, error) {
+	seen := map[string]bool{}
+	ok := false
+	for _, rep := range r.pool.Replicas() {
+		if rep.Healthy() {
+			if names, err := rep.client.Models(ctx); err == nil {
+				ok = true
+				for _, n := range names {
+					seen[n] = true
+				}
+				continue
+			}
+		}
+		if m := rep.metrics.Load(); m != nil {
+			ok = true
+			for _, mm := range m.Models {
+				seen[mm.Model] = true
+			}
+		}
+	}
+	if !ok {
+		return nil, ErrNoReplicas
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RouterReplicaJSON is one replica's entry in the router section of
+// GET /v2/metrics.
+type RouterReplicaJSON struct {
+	Name              string `json:"name"`
+	URL               string `json:"url"`
+	Healthy           bool   `json:"healthy"`
+	ConsecutiveErrors int    `json:"consecutive_errors"`
+	Ejections         int64  `json:"ejections"`
+	Inflight          int64  `json:"inflight"`
+	QueueDepth        int64  `json:"queue_depth"`
+}
+
+// RouterJSON is the router section of GET /v2/metrics.
+type RouterJSON struct {
+	Requests        int64               `json:"requests"`
+	Errors          int64               `json:"errors"`
+	Failovers       int64               `json:"failovers"`
+	Spills          int64               `json:"spills"`
+	HealthyReplicas int                 `json:"healthy_replicas"`
+	LatencyMs       LatencySummaryJSON  `json:"latency_ms"`
+	Replicas        []RouterReplicaJSON `json:"replicas"`
+}
+
+// RouterMetricsJSON is the router's GET /v2/metrics body: the models
+// section aggregates every replica's per-model metrics (so
+// serve.Client.Metrics decodes it unchanged), and the router section
+// adds routing and per-replica health detail.
+type RouterMetricsJSON struct {
+	Models []ModelMetricsJSON `json:"models"`
+	Router RouterJSON         `json:"router"`
+}
+
+// Metrics aggregates per-model metrics across replicas: counters and
+// queue depths are summed; latency summaries are merged with
+// count-weighted means (percentiles included — an approximation, since
+// exact quantile merging would need the raw histograms over the wire)
+// and max-of-max.
+func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
+	byModel := map[string]*ModelMetricsJSON{}
+	var order []string
+	for _, rep := range r.pool.Replicas() {
+		m := rep.metrics.Load()
+		if rep.Healthy() {
+			if fresh, err := rep.client.Metrics(ctx); err == nil {
+				rep.metrics.Store(fresh)
+				m = fresh
+			}
+		}
+		if m == nil {
+			continue
+		}
+		for _, mm := range m.Models {
+			agg, ok := byModel[mm.Model]
+			if !ok {
+				cp := mm
+				cp.QueueMsByClass = nil
+				byModel[mm.Model] = &cp
+				order = append(order, mm.Model)
+				agg = byModel[mm.Model]
+				agg.QueueMs = mm.QueueMs
+				agg.ComputeMs = mm.ComputeMs
+				for class, sum := range mm.QueueMsByClass {
+					if agg.QueueMsByClass == nil {
+						agg.QueueMsByClass = map[string]LatencySummaryJSON{}
+					}
+					agg.QueueMsByClass[class] = sum
+				}
+				continue
+			}
+			agg.Requests += mm.Requests
+			agg.Items += mm.Items
+			agg.Batches += mm.Batches
+			agg.Errors += mm.Errors
+			agg.Cancelled += mm.Cancelled
+			agg.Shed += mm.Shed
+			agg.Expired += mm.Expired
+			agg.QueueDepth += mm.QueueDepth
+			agg.QueueMs = mergeLatency(agg.QueueMs, mm.QueueMs)
+			agg.ComputeMs = mergeLatency(agg.ComputeMs, mm.ComputeMs)
+			for class, sum := range mm.QueueMsByClass {
+				if agg.QueueMsByClass == nil {
+					agg.QueueMsByClass = map[string]LatencySummaryJSON{}
+				}
+				agg.QueueMsByClass[class] = mergeLatency(agg.QueueMsByClass[class], sum)
+			}
+		}
+	}
+	sort.Strings(order)
+	out := RouterMetricsJSON{
+		Router: RouterJSON{
+			Requests:        r.met.requests.Load(),
+			Errors:          r.met.errors.Load(),
+			Failovers:       r.met.failovers.Load(),
+			Spills:          r.met.spills.Load(),
+			HealthyReplicas: r.pool.HealthyCount(),
+			LatencyMs:       summaryToMs(r.met.latency.Summary()),
+		},
+	}
+	for _, name := range order {
+		out.Models = append(out.Models, *byModel[name])
+	}
+	for _, st := range r.pool.Status() {
+		out.Router.Replicas = append(out.Router.Replicas, RouterReplicaJSON{
+			Name:              st.Name,
+			URL:               st.URL,
+			Healthy:           st.Healthy,
+			ConsecutiveErrors: st.ConsecutiveErrors,
+			Ejections:         st.Ejections,
+			Inflight:          st.Inflight,
+			QueueDepth:        st.QueueDepth,
+		})
+	}
+	return out
+}
+
+// mergeLatency folds two latency summaries: counts add, means and
+// percentiles merge count-weighted, maxima take the max.
+func mergeLatency(a, b LatencySummaryJSON) LatencySummaryJSON {
+	if a.Count == 0 {
+		return b
+	}
+	if b.Count == 0 {
+		return a
+	}
+	n := a.Count + b.Count
+	wa, wb := float64(a.Count)/float64(n), float64(b.Count)/float64(n)
+	out := LatencySummaryJSON{
+		Count:  n,
+		MeanMs: wa*a.MeanMs + wb*b.MeanMs,
+		P50Ms:  wa*a.P50Ms + wb*b.P50Ms,
+		P95Ms:  wa*a.P95Ms + wb*b.P95Ms,
+		P99Ms:  wa*a.P99Ms + wb*b.P99Ms,
+		MaxMs:  a.MaxMs,
+	}
+	if b.MaxMs > out.MaxMs {
+		out.MaxMs = b.MaxMs
+	}
+	return out
+}
+
+// Stats aggregates one model's stats across replicas.
+func (r *Router) Stats(ctx context.Context, model string) (StatsJSON, error) {
+	out := StatsJSON{Model: model}
+	var fill float64
+	found := false
+	var lastErr error
+	for _, rep := range r.pool.Replicas() {
+		if !rep.Healthy() {
+			continue
+		}
+		st, err := rep.client.Stats(ctx, model)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		found = true
+		out.RequestsServed += st.RequestsServed
+		out.Requests += st.Requests
+		out.ItemsServed += st.ItemsServed
+		out.BatchesRun += st.BatchesRun
+		fill += st.MeanBatchFill * float64(st.BatchesRun)
+	}
+	if !found {
+		if lastErr != nil {
+			return StatsJSON{}, lastErr
+		}
+		return StatsJSON{}, ErrNoReplicas
+	}
+	if out.BatchesRun > 0 {
+		out.MeanBatchFill = fill / float64(out.BatchesRun)
+	}
+	return out, nil
+}
+
+// Handler exposes the router over HTTP with the same /v2/* surface as
+// a single Server, so serve.Client (and anything else speaking the
+// KServe-v2-flavored API) works unchanged against a router:
+//
+//	GET  /v2/health/ready       ready iff >=1 healthy replica
+//	GET  /v2/models             union across replicas
+//	GET  /v2/metrics            aggregated + router/replica detail
+//	GET  /v2/models/{name}/stats aggregated across replicas
+//	POST /v2/models/{name}/infer routed with failover
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/health/ready", func(w http.ResponseWriter, req *http.Request) {
+		if r.pool.HealthyCount() == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: ErrNoReplicas.Error()})
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v2/models", func(w http.ResponseWriter, req *http.Request) {
+		names, err := r.Models(req.Context())
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, ModelListJSON{Models: names})
+	})
+	mux.HandleFunc("GET /v2/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Metrics(req.Context()))
+	})
+	mux.HandleFunc("GET /v2/models/", func(w http.ResponseWriter, req *http.Request) {
+		name, ok := cutModelAction(req.URL.Path, "stats")
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: "not found"})
+			return
+		}
+		st, err := r.Stats(req.Context(), name)
+		if err != nil {
+			writeJSON(w, routerErrStatus(err), errorJSON{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v2/models/", func(w http.ResponseWriter, req *http.Request) {
+		name, ok := cutModelAction(req.URL.Path, "infer")
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorJSON{Error: "not found"})
+			return
+		}
+		req.Body = http.MaxBytesReader(w, req.Body, routerBodyLimit)
+		var body InferRequestJSON
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+			return
+		}
+		resp, err := r.Infer(req.Context(), name, body)
+		if err != nil {
+			var oe *overloadError
+			if errors.As(err, &oe) && oe.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(int(oe.retryAfter/time.Second)+1))
+			}
+			writeJSON(w, routerErrStatus(err), errorJSON{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// cutModelAction parses /v2/models/{name}/{action} paths.
+func cutModelAction(path, action string) (string, bool) {
+	rest := strings.TrimPrefix(path, "/v2/models/")
+	name, got, ok := strings.Cut(rest, "/")
+	return name, ok && got == action && name != ""
+}
+
+// routerErrStatus maps a routing error to the status the router
+// surfaces: replica statuses pass through, overload is 429, a closed
+// or empty router is 503, and transport-level replica failures are
+// 502 (the router itself is fine; the tier behind it is not).
+func routerErrStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadlineExpired):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrNoReplicas):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadClass):
+		return http.StatusBadRequest
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return http.StatusBadGateway
+}
