@@ -14,9 +14,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the concurrency-heavy packages (serving path incl. the
-# replica-pool router, pipeline, and the live sim-vs-real validation).
+# replica-pool router, the lock-free metrics recorders, the trace ring
+# buffer, pipeline, and the live sim-vs-real validation).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/pipeline/... ./internal/scaleout/...
+	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/...
 
 # The CI gate: tier-1 tests plus vet and the race suite.
 check: build vet test race

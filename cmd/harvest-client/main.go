@@ -47,6 +47,9 @@ func main() {
 	cancel()
 
 	rec := &metrics.LatencyRecorder{}
+	// Server-reported per-stage breakdown (timings_ms in each infer
+	// response): where inside the server each request's time went.
+	var admitRec, queueRec, assembleRec, computeRec metrics.LatencyRecorder
 	sem := make(chan struct{}, *concurrency)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -63,7 +66,7 @@ func main() {
 				req.DeadlineMs = float64(*deadline) / float64(time.Millisecond)
 			}
 			t0 := time.Now()
-			_, err := client.Infer(context.Background(), *model, req)
+			resp, err := client.Infer(context.Background(), *model, req)
 			if err != nil {
 				mu.Lock()
 				switch {
@@ -78,6 +81,12 @@ func main() {
 				return
 			}
 			rec.Observe(time.Since(t0).Seconds())
+			if tm := resp.Timings; tm != nil {
+				admitRec.Observe(tm.AdmitMs / 1000)
+				queueRec.Observe(tm.QueueMs / 1000)
+				assembleRec.Observe(tm.BatchAssemblyMs / 1000)
+				computeRec.Observe(tm.ComputeMs / 1000)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -89,6 +98,20 @@ func main() {
 		elapsed, float64(rec.Count())/elapsed, float64(rec.Count()**items)/elapsed)
 	fmt.Printf("latency ms: mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		s.Mean*1000, s.P50*1000, s.P95*1000, s.P99*1000, s.Max*1000)
+	if admitRec.Count() > 0 {
+		fmt.Println("per-stage ms (server-reported timings_ms):")
+		for _, st := range []struct {
+			name string
+			rec  *metrics.LatencyRecorder
+		}{
+			{"admit", &admitRec}, {"queue", &queueRec},
+			{"batch-assembly", &assembleRec}, {"compute", &computeRec},
+		} {
+			fmt.Printf("  %-14s mean=%.3f p50=%.3f p95=%.3f p99=%.3f\n",
+				st.name, st.rec.MeanMs(), st.rec.PercentileMs(50),
+				st.rec.PercentileMs(95), st.rec.PercentileMs(99))
+		}
+	}
 
 	// Server-side decomposition: how much of that latency was queueing
 	// in the dynamic batcher vs. batch execution (paper Fig. 6).

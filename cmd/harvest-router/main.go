@@ -13,7 +13,8 @@
 //	harvest-router -replicas http://127.0.0.1:8000,http://127.0.0.1:8001
 //	               [-addr :8100] [-probe-interval 250ms] [-eject-after 3]
 //	               [-ejection-duration 2s] [-drain-timeout 5s]
-//	               [-read-header-timeout 5s]
+//	               [-read-header-timeout 5s] [-trace-cap 4096]
+//	               [-pprof-addr localhost:6061]
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"harvest/internal/pprofserve"
 	"harvest/internal/serve"
 )
 
@@ -46,6 +48,10 @@ func main() {
 			"how long shutdown waits for in-flight proxied requests")
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second,
 			"per-connection header read timeout (slowloris guard)")
+		traceCap = flag.Int("trace-cap", serve.DefaultTraceCapacity,
+			"trace ring-buffer capacity for GET /v2/trace (negative disables)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"optional net/http/pprof listen address (e.g. localhost:6061); empty disables")
 	)
 	flag.Parse()
 
@@ -64,13 +70,18 @@ func main() {
 			EjectAfter:       *ejectAfter,
 			EjectionDuration: *ejectionDuration,
 		},
-		DrainTimeout: *drainTimeout,
+		DrainTimeout:  *drainTimeout,
+		TraceCapacity: *traceCap,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("routing across %d replica(s): %s", len(urls), strings.Join(urls, ", "))
-	log.Printf("serving on %s (aggregated metrics at /v2/metrics)", *addr)
+	log.Printf("serving on %s (aggregated JSON metrics at /v2/metrics, Prometheus at /metrics, trace at /v2/trace)", *addr)
+	pprofserve.Start(*pprofAddr, func(err error) { log.Printf("pprof: %v", err) })
+	if *pprofAddr != "" {
+		log.Printf("pprof on %s", *pprofAddr)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -10,7 +10,8 @@
 //	              [-models ViT_Tiny,ResNet50] [-queue-delay 2ms]
 //	              [-instances 1] [-timescale 1.0] [-drain-timeout 5s]
 //	              [-max-queue-depth 1024] [-realtime-slo 16.7ms]
-//	              [-read-header-timeout 5s]
+//	              [-read-header-timeout 5s] [-trace-cap 4096]
+//	              [-pprof-addr localhost:6060]
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 
 	"harvest/internal/core"
 	"harvest/internal/hw"
+	"harvest/internal/pprofserve"
 	"harvest/internal/serve"
 )
 
@@ -47,6 +49,10 @@ func main() {
 			"implicit deadline for realtime-class requests (negative disables)")
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second,
 			"per-connection header read timeout (slowloris guard)")
+		traceCap = flag.Int("trace-cap", serve.DefaultTraceCapacity,
+			"trace ring-buffer capacity for GET /v2/trace (negative disables)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -58,6 +64,7 @@ func main() {
 		DrainTimeout:   *drainTimeout,
 		MaxQueueDepth:  *maxQueueDepth,
 		RealtimeBudget: *realtimeSLO,
+		TraceCapacity:  *traceCap,
 	}
 	if *modelsArg != "" {
 		for _, m := range strings.Split(*modelsArg, ",") {
@@ -75,7 +82,12 @@ func main() {
 		}
 		log.Printf("registered %s (max batch %d, %d instance(s))", name, mc.MaxBatch, mc.Instances)
 	}
-	log.Printf("platform %s, serving on %s (metrics at /v2/metrics)", *platform, *addr)
+	log.Printf("platform %s, serving on %s (JSON metrics at /v2/metrics, Prometheus at /metrics, trace at /v2/trace)",
+		*platform, *addr)
+	pprofserve.Start(*pprofAddr, func(err error) { log.Printf("pprof: %v", err) })
+	if *pprofAddr != "" {
+		log.Printf("pprof on %s", *pprofAddr)
+	}
 
 	// Bound header reads and idle keep-alives so stalled connections
 	// (slowloris) cannot exhaust the listener; request bodies stay

@@ -112,6 +112,21 @@ func main() {
 		fmt.Printf("  compute ms: p50=%7.2f  p95=%7.2f  p99=%7.2f\n",
 			m.ComputeMs.P50Ms, m.ComputeMs.P95Ms, m.ComputeMs.P99Ms)
 	}
+	// Every infer response also carries its own per-stage breakdown
+	// (timings_ms), so a single request can be diagnosed without
+	// scraping aggregates; the same stages appear as spans in
+	// GET /v2/trace and as histograms in the Prometheus GET /metrics.
+	resp, err := client.Infer(ctx, models.NameViTSmall,
+		serve.InferRequestJSON{ID: "traced-1", Items: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tm := resp.Timings; tm != nil {
+		fmt.Printf("\none request's own timings_ms (id %s): admit=%.3f queue=%.3f "+
+			"batch-assembly=%.3f compute=%.3f\n",
+			resp.ID, tm.AdmitMs, tm.QueueMs, tm.BatchAssemblyMs, tm.ComputeMs)
+	}
+
 	fmt.Println("\nas offered load rises, the dynamic batcher fuses more requests per batch:")
 	fmt.Println("throughput climbs toward the engine's saturated rate while per-request")
 	fmt.Println("latency grows by at most the batching window plus the larger batch time —")

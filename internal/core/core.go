@@ -15,6 +15,7 @@ import (
 	"harvest/internal/hw"
 	"harvest/internal/models"
 	"harvest/internal/serve"
+	"harvest/internal/trace"
 )
 
 // Report is the outcome of a characterization run.
@@ -106,6 +107,10 @@ type DeploymentConfig struct {
 	// requests (default serve.DefaultRealtimeBudget, the paper's
 	// 16.7 ms SLO; negative disables).
 	RealtimeBudget time.Duration
+	// TraceCapacity bounds the server's trace ring buffer, which feeds
+	// GET /v2/trace (default serve.DefaultTraceCapacity; negative
+	// disables tracing).
+	TraceCapacity int
 }
 
 // NewDeployment builds a running inference server hosting the
@@ -123,7 +128,14 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 	if cfg.QueueDelay == 0 {
 		cfg.QueueDelay = 2 * time.Millisecond
 	}
+	if cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = serve.DefaultTraceCapacity
+	}
 	srv := serve.NewServer()
+	if cfg.TraceCapacity > 0 {
+		// Installed before Register so every model records into it.
+		srv.SetTrace(trace.NewRing(cfg.TraceCapacity))
+	}
 	for _, name := range names {
 		eng, err := engine.New(p, name)
 		if err != nil {

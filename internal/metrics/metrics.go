@@ -5,9 +5,9 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"harvest/internal/stats"
@@ -28,44 +28,72 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
-// LatencyRecorder accumulates latency observations (seconds). It is
-// safe for concurrent use.
+// LatencyRecorder accumulates latency observations (seconds) into a
+// bounded log-bucketed histogram (see histogram.go for the shared
+// layout). Memory is O(1) in the number of observations — a long-lived
+// server can observe forever without growing — and every operation is
+// lock-free (atomic bucket counters), so Observe is cheap on the hot
+// path. The zero value is ready to use; it is safe for concurrent use.
+//
+// Mean, min and max are exact; percentiles are interpolated within the
+// containing log bucket (relative error bounded by the bucket width
+// ratio 10^(1/8) ≈ 1.33, and exact at the observed extremes).
 type LatencyRecorder struct {
-	mu      sync.Mutex
-	samples []float64
+	counts    [NumLatencyBuckets]atomic.Uint64
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
+	sumSqBits atomic.Uint64
+	minBits   atomic.Uint64 // float bits + 1; 0 = unset
+	maxBits   atomic.Uint64 // float bits + 1; 0 = unset
 }
 
-// Observe records one latency in seconds.
+// Observe records one latency in seconds. Negative and NaN values are
+// clamped to zero.
 func (l *LatencyRecorder) Observe(seconds float64) {
-	l.mu.Lock()
-	l.samples = append(l.samples, seconds)
-	l.mu.Unlock()
+	if seconds < 0 || seconds != seconds {
+		seconds = 0
+	}
+	l.counts[bucketIndex(seconds)].Add(1)
+	l.count.Add(1)
+	addFloat(&l.sumBits, seconds)
+	addFloat(&l.sumSqBits, seconds*seconds)
+	noteMin(&l.minBits, seconds)
+	noteMax(&l.maxBits, seconds)
 }
 
 // Count returns the number of observations.
-func (l *LatencyRecorder) Count() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.samples)
+func (l *LatencyRecorder) Count() int { return int(l.count.Load()) }
+
+// Snapshot copies the histogram state. Concurrent observers make the
+// snapshot eventually consistent: bucket counts, sum and extremes are
+// read individually, so a snapshot taken mid-Observe may be off by the
+// in-flight observation — never by more.
+func (l *LatencyRecorder) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Counts: make([]uint64, NumLatencyBuckets)}
+	var n uint64
+	for i := range l.counts {
+		c := l.counts[i].Load()
+		s.Counts[i] = c
+		n += c
+	}
+	s.Count = n
+	s.Sum = math.Float64frombits(l.sumBits.Load())
+	s.SumSq = math.Float64frombits(l.sumSqBits.Load())
+	s.Min = loadExtreme(&l.minBits)
+	s.Max = loadExtreme(&l.maxBits)
+	return s
 }
 
 // Summary returns descriptive statistics of the observations.
-func (l *LatencyRecorder) Summary() stats.Summary {
-	l.mu.Lock()
-	cp := append([]float64(nil), l.samples...)
-	l.mu.Unlock()
-	return stats.Summarize(cp)
-}
+func (l *LatencyRecorder) Summary() stats.Summary { return l.Snapshot().Summary() }
 
-// MeanMs returns the mean latency in milliseconds.
+// MeanMs returns the mean latency in milliseconds (exact).
 func (l *LatencyRecorder) MeanMs() float64 { return l.Summary().Mean * 1000 }
 
-// PercentileMs returns the p-th percentile latency in milliseconds.
+// PercentileMs returns the p-th percentile latency in milliseconds,
+// interpolated from the histogram buckets.
 func (l *LatencyRecorder) PercentileMs(p float64) float64 {
-	l.mu.Lock()
-	cp := append([]float64(nil), l.samples...)
-	l.mu.Unlock()
-	return stats.Percentile(cp, p) * 1000
+	return l.Snapshot().Quantile(p) * 1000
 }
 
 // Throughput computes items/second given a count and elapsed seconds.
@@ -154,14 +182,32 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// csvCell quotes a cell per RFC 4180 when it contains a comma, quote,
+// or line break; plain cells pass through unquoted.
+func csvCell(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// CSV renders the table as RFC 4180 comma-separated values: cells
+// containing commas, quotes or newlines are quoted, embedded quotes
+// are doubled.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Headers, ","))
-	b.WriteByte('\n')
-	for _, r := range t.rows {
-		b.WriteString(strings.Join(r, ","))
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(c))
+		}
 		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
 	}
 	return b.String()
 }

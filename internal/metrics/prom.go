@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), written with the
+// standard library only: enough of the format for counters, gauges and
+// the shared-layout latency histograms, so harvest-serve and
+// harvest-router can be scraped by a stock Prometheus.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promEscape escapes a label value: backslash, double quote and
+// newline, per the exposition format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// PromLabel renders one name="value" label pair with escaping.
+func PromLabel(name, value string) string {
+	return name + `="` + promEscape(value) + `"`
+}
+
+// PromLabels joins rendered label pairs.
+func PromLabels(pairs ...string) string { return strings.Join(pairs, ",") }
+
+// promFloat formats a sample value ("+Inf"/"-Inf"/"NaN" per the spec).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromWriter writes exposition-format metric families. Write errors
+// are deliberately ignored: the writer targets an HTTP response, where
+// a failed scrape is retried by the scraper.
+type PromWriter struct {
+	W io.Writer
+}
+
+// Head writes the HELP/TYPE header of a metric family. typ is
+// "counter", "gauge" or "histogram".
+func (p PromWriter) Head(name, typ, help string) {
+	fmt.Fprintf(p.W, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Val writes one sample with preformatted labels (see PromLabel);
+// empty labels write a bare sample.
+func (p PromWriter) Val(name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(p.W, "%s %s\n", name, promFloat(v))
+		return
+	}
+	fmt.Fprintf(p.W, "%s{%s} %s\n", name, labels, promFloat(v))
+}
+
+// Int writes one integer-valued sample.
+func (p PromWriter) Int(name, labels string, v int64) { p.Val(name, labels, float64(v)) }
+
+// Hist writes a snapshot as a Prometheus histogram: cumulative
+// _bucket{le=...} series over the shared bucket bounds, then _sum and
+// _count.
+func (p PromWriter) Hist(name, labels string, s HistogramSnapshot) {
+	var cum uint64
+	for i, upper := range histUpper {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		le := PromLabel("le", promFloat(upper))
+		if labels != "" {
+			le = labels + "," + le
+		}
+		fmt.Fprintf(p.W, "%s_bucket{%s} %d\n", name, le, cum)
+	}
+	p.Val(name+"_sum", labels, s.Sum)
+	p.Int(name+"_count", labels, int64(s.Count))
+}

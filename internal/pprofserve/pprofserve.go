@@ -1,0 +1,37 @@
+// Package pprofserve starts the opt-in net/http/pprof debug listener
+// the serving binaries expose behind -pprof-addr. The profiler gets
+// its own mux and address — never the serving mux — so profiling
+// endpoints are reachable only where the operator points them
+// (typically localhost), not on the public serving port.
+package pprofserve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Start serves pprof on addr in a background goroutine and reports
+// errors (including startup failures) to onErr. Empty addr disables
+// profiling and returns immediately.
+func Start(addr string, onErr func(error)) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}

@@ -339,6 +339,11 @@ func (c *Client) inferOnce(ctx context.Context, model string, body InferRequestJ
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if body.ID != "" {
+		// Propagate the request id so every tier logs and traces the
+		// same identity for this request.
+		req.Header.Set(RequestIDHeader, body.ID)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err

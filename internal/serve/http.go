@@ -1,16 +1,49 @@
 package serve
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
-	"harvest/internal/stats"
+	"harvest/internal/metrics"
+	"harvest/internal/trace"
 )
+
+// RequestIDHeader carries the request id end-to-end: a client (or the
+// router) sets it, the replica adopts it, and every tier echoes it on
+// the response, so one id follows the request through logs, traces and
+// response bodies across the compute continuum.
+const RequestIDHeader = "X-Request-ID"
+
+// NewRequestID returns a fresh random request id (16 hex chars).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively fatal elsewhere; fall back
+		// to a constant rather than panic in the request path.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID picks the request's id: body id first, then the propagated
+// header, then a freshly generated one.
+func requestID(body string, r *http.Request) string {
+	if body != "" {
+		return body
+	}
+	if h := r.Header.Get(RequestIDHeader); h != "" {
+		return h
+	}
+	return NewRequestID()
+}
 
 // HTTP wire types, loosely following the Triton KServe v2 layout.
 
@@ -32,6 +65,23 @@ type InferRequestJSON struct {
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 }
 
+// TimingsJSON is the per-stage latency breakdown of one served
+// request, in milliseconds: where the time went between submission and
+// response.
+type TimingsJSON struct {
+	// AdmitMs is admission control: request receipt to lane enqueue.
+	AdmitMs float64 `json:"admit_ms"`
+	// QueueMs is the lane wait: enqueue to batcher pickup.
+	QueueMs float64 `json:"queue_ms"`
+	// BatchAssemblyMs is the dynamic-batching window: pickup to the
+	// fused batch's execution start.
+	BatchAssemblyMs float64 `json:"batch_assembly_ms"`
+	// ComputeMs is the execution time of the fused batch.
+	ComputeMs float64 `json:"compute_ms"`
+	// TotalMs is wall time from HTTP receipt to response writing.
+	TotalMs float64 `json:"total_ms"`
+}
+
 // InferResponseJSON is the response body.
 type InferResponseJSON struct {
 	ID             string      `json:"id,omitempty"`
@@ -40,6 +90,7 @@ type InferResponseJSON struct {
 	BatchSize      int         `json:"batch_size"`
 	QueueMs        float64     `json:"queue_ms"`
 	ComputeMs      float64     `json:"compute_ms"`
+	Timings        *TimingsJSON `json:"timings_ms,omitempty"`
 	Outputs        [][]float32 `json:"outputs,omitempty"`
 	Classification []int       `json:"classification,omitempty"`
 }
@@ -68,14 +119,58 @@ type StatsJSON struct {
 }
 
 // LatencySummaryJSON summarizes a latency distribution in
-// milliseconds.
+// milliseconds. Alongside the derived percentiles it ships the raw
+// histogram (shared bucket layout, see metrics.LatencyBucketBounds)
+// plus sum and extremes, so an aggregator can merge distributions from
+// many replicas exactly instead of averaging percentiles.
 type LatencySummaryJSON struct {
 	Count  int     `json:"count"`
 	MeanMs float64 `json:"mean_ms"`
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
 	P99Ms  float64 `json:"p99_ms"`
+	MinMs  float64 `json:"min_ms,omitempty"`
 	MaxMs  float64 `json:"max_ms"`
+	SumMs  float64 `json:"sum_ms,omitempty"`
+	// Buckets holds per-bucket observation counts in the shared layout;
+	// empty when the producer predates histogram shipping.
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// histToJSON converts a histogram snapshot to the wire summary.
+func histToJSON(h metrics.HistogramSnapshot) LatencySummaryJSON {
+	s := h.Summary()
+	return LatencySummaryJSON{
+		Count:   s.N,
+		MeanMs:  s.Mean * 1000,
+		P50Ms:   s.P50 * 1000,
+		P95Ms:   s.P95 * 1000,
+		P99Ms:   s.P99 * 1000,
+		MinMs:   s.Min * 1000,
+		MaxMs:   s.Max * 1000,
+		SumMs:   h.Sum * 1000,
+		Buckets: h.Counts,
+	}
+}
+
+// histFromJSON reconstructs a mergeable snapshot from the wire
+// summary. ok is false when the producer did not ship buckets (or
+// shipped an incompatible layout) and only percentile fields are
+// usable.
+func histFromJSON(j LatencySummaryJSON) (metrics.HistogramSnapshot, bool) {
+	if len(j.Buckets) != metrics.NumLatencyBuckets {
+		return metrics.HistogramSnapshot{}, false
+	}
+	h := metrics.HistogramSnapshot{
+		Sum:     j.SumMs / 1000,
+		Min:     j.MinMs / 1000,
+		Max:     j.MaxMs / 1000,
+		Counts:  append([]uint64(nil), j.Buckets...),
+	}
+	for _, c := range h.Counts {
+		h.Count += c
+	}
+	return h, true
 }
 
 // ModelMetricsJSON is one model's entry in GET /v2/metrics.
@@ -149,6 +244,8 @@ func (s *Server) retryAfterSeconds(name string) int {
 //	GET  /v2/health/ready
 //	GET  /v2/models
 //	GET  /v2/metrics
+//	GET  /v2/trace
+//	GET  /metrics
 //	GET  /v2/models/{name}/stats
 //	POST /v2/models/{name}/infer
 func (s *Server) Handler() http.Handler {
@@ -165,6 +262,18 @@ func (s *Server) Handler() http.Handler {
 			out.Models = append(out.Models, metricsToJSON(m))
 		}
 		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v2/trace", func(w http.ResponseWriter, r *http.Request) {
+		rec := s.Trace()
+		if rec == nil {
+			rec = trace.NewRecorder()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = rec.WriteChrome(w)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.PromContentType)
+		s.writeProm(w)
 	})
 	mux.HandleFunc("GET /v2/models/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v2/models/")
@@ -188,6 +297,7 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("POST /v2/models/", func(w http.ResponseWriter, r *http.Request) {
+		arrived := time.Now()
 		rest := strings.TrimPrefix(r.URL.Path, "/v2/models/")
 		name, action, ok := strings.Cut(rest, "/")
 		if !ok || action != "infer" || name == "" {
@@ -218,8 +328,10 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 			return
 		}
+		id := requestID(body.ID, r)
+		w.Header().Set(RequestIDHeader, id)
 		req := &Request{
-			ID: body.ID, Model: name, Items: body.Items, Inputs: body.Inputs,
+			ID: id, Model: name, Items: body.Items, Inputs: body.Inputs,
 			Class: class,
 		}
 		if body.DeadlineMs > 0 {
@@ -252,14 +364,91 @@ func (s *Server) Handler() http.Handler {
 			BatchSize: resp.BatchSize,
 			QueueMs:   resp.QueueSeconds * 1000,
 			ComputeMs: resp.ComputeSeconds * 1000,
-			Outputs:   resp.Outputs,
+			Timings: &TimingsJSON{
+				AdmitMs:         resp.AdmitSeconds * 1000,
+				QueueMs:         resp.LaneSeconds * 1000,
+				BatchAssemblyMs: resp.AssembleSeconds * 1000,
+				ComputeMs:       resp.ComputeSeconds * 1000,
+			},
+			Outputs: resp.Outputs,
 		}
 		for _, logits := range resp.Outputs {
 			out.Classification = append(out.Classification, argmax(logits))
 		}
+		respondStart := time.Now()
+		out.Timings.TotalMs = respondStart.Sub(arrived).Seconds() * 1000
 		writeJSON(w, http.StatusOK, out)
+		if cfg.Trace != nil {
+			cfg.Trace.Add(trace.Span{
+				Name:  "respond",
+				Track: "req:" + id,
+				Start: sinceEpoch(respondStart), Duration: stageDur(respondStart, time.Now()),
+				Args: map[string]any{"model": name},
+			})
+		}
 	})
 	return mux
+}
+
+// writeProm writes the server's Prometheus text exposition: per-model
+// request counters, queue-depth gauges, and the queue/compute latency
+// histograms in the shared bucket layout.
+func (s *Server) writeProm(w http.ResponseWriter) {
+	ms := s.Metrics()
+	pw := metrics.PromWriter{W: w}
+	counters := []struct {
+		name, help string
+		get        func(ModelMetrics) int64
+	}{
+		{"harvest_requests_total", "Requests completed successfully.", func(m ModelMetrics) int64 { return m.Requests }},
+		{"harvest_items_total", "Images served in successful requests.", func(m ModelMetrics) int64 { return m.Items }},
+		{"harvest_batches_total", "Fused batches executed.", func(m ModelMetrics) int64 { return m.Batches }},
+		{"harvest_errors_total", "Requests failed by the backend or shutdown.", func(m ModelMetrics) int64 { return m.Errors }},
+		{"harvest_cancelled_total", "Requests withdrawn before dispatch.", func(m ModelMetrics) int64 { return m.Cancelled }},
+		{"harvest_shed_total", "Submissions rejected by admission control.", func(m ModelMetrics) int64 { return m.Shed }},
+		{"harvest_expired_total", "Admitted requests shed past their deadline.", func(m ModelMetrics) int64 { return m.Expired }},
+	}
+	for _, c := range counters {
+		pw.Head(c.name, "counter", c.help)
+		for _, m := range ms {
+			pw.Int(c.name, metrics.PromLabel("model", m.Model), c.get(m))
+		}
+	}
+	pw.Head("harvest_queue_depth", "gauge", "Requests admitted but not yet dispatched.")
+	for _, m := range ms {
+		pw.Int("harvest_queue_depth", metrics.PromLabel("model", m.Model), m.QueueDepth)
+	}
+	pw.Head("harvest_queue_latency_seconds", "histogram", "Wall time from enqueue to batch execution start.")
+	for _, m := range ms {
+		pw.Hist("harvest_queue_latency_seconds", metrics.PromLabel("model", m.Model), m.QueueHist)
+	}
+	pw.Head("harvest_compute_latency_seconds", "histogram", "Execution time of the fused batch.")
+	for _, m := range ms {
+		pw.Hist("harvest_compute_latency_seconds", metrics.PromLabel("model", m.Model), m.ComputeHist)
+	}
+	pw.Head("harvest_class_queue_latency_seconds", "histogram", "Queue latency per SLO class.")
+	for _, m := range ms {
+		for _, class := range classKeysSorted(m.ClassQueueHist) {
+			pw.Hist("harvest_class_queue_latency_seconds",
+				metrics.PromLabels(metrics.PromLabel("model", m.Model), metrics.PromLabel("class", class)),
+				m.ClassQueueHist[class])
+		}
+	}
+	if rec := s.Trace(); rec != nil {
+		pw.Head("harvest_trace_spans_dropped_total", "counter", "Trace spans evicted from the ring buffer.")
+		pw.Int("harvest_trace_spans_dropped_total", "", int64(rec.Dropped()))
+	}
+}
+
+// classKeysSorted returns map keys in sorted order for deterministic
+// exposition output.
+func classKeysSorted(m map[string]metrics.HistogramSnapshot) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func metricsToJSON(m ModelMetrics) ModelMetricsJSON {
@@ -273,27 +462,16 @@ func metricsToJSON(m ModelMetrics) ModelMetricsJSON {
 		Shed:       m.Shed,
 		Expired:    m.Expired,
 		QueueDepth: m.QueueDepth,
-		QueueMs:    summaryToMs(m.QueueLatency),
-		ComputeMs:  summaryToMs(m.ComputeLatency),
+		QueueMs:    histToJSON(m.QueueHist),
+		ComputeMs:  histToJSON(m.ComputeHist),
 	}
-	for class, sum := range m.ClassQueueLatency {
+	for class, h := range m.ClassQueueHist {
 		if out.QueueMsByClass == nil {
-			out.QueueMsByClass = make(map[string]LatencySummaryJSON, len(m.ClassQueueLatency))
+			out.QueueMsByClass = make(map[string]LatencySummaryJSON, len(m.ClassQueueHist))
 		}
-		out.QueueMsByClass[class] = summaryToMs(sum)
+		out.QueueMsByClass[class] = histToJSON(h)
 	}
 	return out
-}
-
-func summaryToMs(s stats.Summary) LatencySummaryJSON {
-	return LatencySummaryJSON{
-		Count:  s.N,
-		MeanMs: s.Mean * 1000,
-		P50Ms:  s.P50 * 1000,
-		P95Ms:  s.P95 * 1000,
-		P99Ms:  s.P99 * 1000,
-		MaxMs:  s.Max * 1000,
-	}
 }
 
 func argmax(xs []float32) int {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"harvest/internal/metrics"
+	"harvest/internal/trace"
 )
 
 // ErrNoReplicas means every replica was tried (or none exists) and the
@@ -42,7 +43,15 @@ type RouterConfig struct {
 	// DrainTimeout bounds Close's wait for proxied requests still in
 	// flight. 0 means DefaultDrainTimeout; negative means no grace.
 	DrainTimeout time.Duration
+	// TraceCapacity bounds the router's trace ring buffer (spans
+	// retained for GET /v2/trace). 0 means DefaultTraceCapacity;
+	// negative disables tracing.
+	TraceCapacity int
 }
+
+// DefaultTraceCapacity is the trace ring-buffer size used when a
+// router or deployment does not configure one.
+const DefaultTraceCapacity = 4096
 
 // routerMetrics is router-level observability, on top of the
 // aggregated per-replica model metrics.
@@ -56,8 +65,9 @@ type routerMetrics struct {
 
 // Router load-balances inference across a health-checked replica pool.
 type Router struct {
-	cfg  RouterConfig
-	pool *Pool
+	cfg   RouterConfig
+	pool  *Pool
+	trace *trace.Recorder // ring buffer of routing spans; nil = disabled
 
 	mu       sync.Mutex
 	closed   bool
@@ -75,12 +85,22 @@ func NewRouter(urls []string, cfg RouterConfig) (*Router, error) {
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
+	if cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = DefaultTraceCapacity
+	}
 	pool, err := NewPool(urls, cfg.Pool)
 	if err != nil {
 		return nil, err
 	}
-	return &Router{cfg: cfg, pool: pool}, nil
+	r := &Router{cfg: cfg, pool: pool}
+	if cfg.TraceCapacity > 0 {
+		r.trace = trace.NewRing(cfg.TraceCapacity)
+	}
+	return r, nil
 }
+
+// Trace returns the router's trace recorder, or nil when disabled.
+func (r *Router) Trace() *trace.Recorder { return r.trace }
 
 // Pool exposes the replica pool (status snapshots, tests).
 func (r *Router) Pool() *Pool { return r.pool }
@@ -147,16 +167,31 @@ func (r *Router) Infer(ctx context.Context, model string, body InferRequestJSON)
 	var lastErr error
 	overloaded := 0
 	var minRetryAfter time.Duration
+	// noteAttempt records one routing attempt on the request's trace
+	// track (sequential attempts, so the track never overlaps).
+	noteAttempt := func(rep *Replica, began time.Time, outcome string) {
+		if r.trace == nil || body.ID == "" {
+			return
+		}
+		r.trace.Add(trace.Span{
+			Name:  "route:" + rep.Name,
+			Track: "req:" + body.ID,
+			Start: sinceEpoch(began), Duration: stageDur(began, time.Now()),
+			Args: map[string]any{"model": model, "replica": rep.Name, "outcome": outcome},
+		})
+	}
 	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
 		rep := r.pool.pick(model, class, tried)
 		if rep == nil {
 			break
 		}
 		tried[rep] = true
+		began := time.Now()
 		rep.inflight.Add(1)
 		resp, err := rep.client.Infer(ctx, model, body)
 		rep.inflight.Add(-1)
 		if err == nil {
+			noteAttempt(rep, began, "ok")
 			rep.noteSuccess()
 			r.met.requests.Inc()
 			r.met.latency.Observe(time.Since(start).Seconds())
@@ -175,23 +210,27 @@ func (r *Router) Infer(ctx context.Context, model string, body InferRequestJSON)
 				minRetryAfter = oe.retryAfter
 			}
 			r.met.spills.Inc()
+			noteAttempt(rep, began, "spill")
 			continue
 		}
 		var se *StatusError
 		if errors.As(err, &se) {
 			if se.Code == http.StatusGatewayTimeout || se.Code < 500 {
 				r.met.errors.Inc()
+				noteAttempt(rep, began, "final-error")
 				return nil, err
 			}
 			// 5xx: replica fault — charge it and fail over.
 			rep.noteError()
 			r.met.failovers.Inc()
+			noteAttempt(rep, began, "failover")
 			continue
 		}
 		// Transport-level failure (dial refused, connection reset
 		// mid-flight): the replica is gone or going; fail over.
 		rep.noteError()
 		r.met.failovers.Inc()
+		noteAttempt(rep, began, "failover")
 	}
 	r.met.errors.Inc()
 	if lastErr == nil {
@@ -337,7 +376,7 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 			Failovers:       r.met.failovers.Load(),
 			Spills:          r.met.spills.Load(),
 			HealthyReplicas: r.pool.HealthyCount(),
-			LatencyMs:       summaryToMs(r.met.latency.Summary()),
+			LatencyMs:       histToJSON(r.met.latency.Snapshot()),
 		},
 	}
 	for _, name := range order {
@@ -357,14 +396,25 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 	return out
 }
 
-// mergeLatency folds two latency summaries: counts add, means and
-// percentiles merge count-weighted, maxima take the max.
+// mergeLatency folds two latency summaries. When both carry their
+// histogram buckets (shared layout), the merge is exact: bucket counts
+// add element-wise and the merged percentiles are recomputed from the
+// merged distribution. Only when a peer predates histogram shipping
+// does the merge degrade to the legacy count-weighted mean of
+// percentiles — which is an approximation, not a percentile of the
+// merged distribution (a count-weighted mean of two p99s can sit far
+// below the true merged p99 when replicas have skewed tails).
 func mergeLatency(a, b LatencySummaryJSON) LatencySummaryJSON {
 	if a.Count == 0 {
 		return b
 	}
 	if b.Count == 0 {
 		return a
+	}
+	if ha, ok := histFromJSON(a); ok {
+		if hb, ok := histFromJSON(b); ok {
+			return histToJSON(ha.Merge(hb))
+		}
 	}
 	n := a.Count + b.Count
 	wa, wb := float64(a.Count)/float64(n), float64(b.Count)/float64(n)
@@ -374,7 +424,12 @@ func mergeLatency(a, b LatencySummaryJSON) LatencySummaryJSON {
 		P50Ms:  wa*a.P50Ms + wb*b.P50Ms,
 		P95Ms:  wa*a.P95Ms + wb*b.P95Ms,
 		P99Ms:  wa*a.P99Ms + wb*b.P99Ms,
+		SumMs:  a.SumMs + b.SumMs,
+		MinMs:  a.MinMs,
 		MaxMs:  a.MaxMs,
+	}
+	if b.MinMs > 0 && (out.MinMs == 0 || b.MinMs < out.MinMs) {
+		out.MinMs = b.MinMs
 	}
 	if b.MaxMs > out.MaxMs {
 		out.MaxMs = b.MaxMs
@@ -445,6 +500,18 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/metrics", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, r.Metrics(req.Context()))
 	})
+	mux.HandleFunc("GET /v2/trace", func(w http.ResponseWriter, req *http.Request) {
+		rec := r.trace
+		if rec == nil {
+			rec = trace.NewRecorder()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = rec.WriteChrome(w)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", metrics.PromContentType)
+		r.writeProm(w, req.Context())
+	})
 	mux.HandleFunc("GET /v2/models/", func(w http.ResponseWriter, req *http.Request) {
 		name, ok := cutModelAction(req.URL.Path, "stats")
 		if !ok {
@@ -470,6 +537,11 @@ func (r *Router) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
 			return
 		}
+		// Fix the request id at the edge: the same id rides the body and
+		// the X-Request-ID header to the replica, and is echoed back, so
+		// one id follows the request across tiers.
+		body.ID = requestID(body.ID, req)
+		w.Header().Set(RequestIDHeader, body.ID)
 		resp, err := r.Infer(req.Context(), name, body)
 		if err != nil {
 			var oe *overloadError
@@ -482,6 +554,67 @@ func (r *Router) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	return mux
+}
+
+// writeProm writes the router's Prometheus text exposition: routing
+// counters, the end-to-end routed latency histogram, per-replica
+// health gauges, and the per-model latency histograms merged exactly
+// across replicas.
+func (r *Router) writeProm(w http.ResponseWriter, ctx context.Context) {
+	pw := metrics.PromWriter{W: w}
+	pw.Head("harvest_router_requests_total", "counter", "Proxied requests answered successfully.")
+	pw.Int("harvest_router_requests_total", "", r.met.requests.Load())
+	pw.Head("harvest_router_errors_total", "counter", "Proxied requests that ultimately failed.")
+	pw.Int("harvest_router_errors_total", "", r.met.errors.Load())
+	pw.Head("harvest_router_failovers_total", "counter", "Replica faults that moved a request to another replica.")
+	pw.Int("harvest_router_failovers_total", "", r.met.failovers.Load())
+	pw.Head("harvest_router_spills_total", "counter", "Overload rejections that moved a request to another replica.")
+	pw.Int("harvest_router_spills_total", "", r.met.spills.Load())
+	pw.Head("harvest_router_latency_seconds", "histogram", "End-to-end latency of successfully routed requests.")
+	pw.Hist("harvest_router_latency_seconds", "", r.met.latency.Snapshot())
+
+	pw.Head("harvest_replica_healthy", "gauge", "1 if the replica is in rotation, 0 if ejected.")
+	status := r.pool.Status()
+	for _, st := range status {
+		v := int64(0)
+		if st.Healthy {
+			v = 1
+		}
+		pw.Int("harvest_replica_healthy", metrics.PromLabel("replica", st.Name), v)
+	}
+	pw.Head("harvest_replica_inflight", "gauge", "Router-proxied requests currently on the replica.")
+	for _, st := range status {
+		pw.Int("harvest_replica_inflight", metrics.PromLabel("replica", st.Name), st.Inflight)
+	}
+	pw.Head("harvest_replica_queue_depth", "gauge", "Replica-reported total admission queue depth.")
+	for _, st := range status {
+		pw.Int("harvest_replica_queue_depth", metrics.PromLabel("replica", st.Name), st.QueueDepth)
+	}
+	pw.Head("harvest_replica_ejections_total", "counter", "Times the replica was ejected from rotation.")
+	for _, st := range status {
+		pw.Int("harvest_replica_ejections_total", metrics.PromLabel("replica", st.Name), st.Ejections)
+	}
+
+	// Per-model latency across the fleet, merged exactly from replica
+	// histograms (weighted-mean fallback summaries carry no buckets and
+	// are skipped here rather than exposed as a fake distribution).
+	agg := r.Metrics(ctx)
+	pw.Head("harvest_queue_latency_seconds", "histogram", "Fleet-wide queue latency, merged across replicas.")
+	for _, m := range agg.Models {
+		if h, ok := histFromJSON(m.QueueMs); ok {
+			pw.Hist("harvest_queue_latency_seconds", metrics.PromLabel("model", m.Model), h)
+		}
+	}
+	pw.Head("harvest_compute_latency_seconds", "histogram", "Fleet-wide compute latency, merged across replicas.")
+	for _, m := range agg.Models {
+		if h, ok := histFromJSON(m.ComputeMs); ok {
+			pw.Hist("harvest_compute_latency_seconds", metrics.PromLabel("model", m.Model), h)
+		}
+	}
+	if r.trace != nil {
+		pw.Head("harvest_trace_spans_dropped_total", "counter", "Trace spans evicted from the ring buffer.")
+		pw.Int("harvest_trace_spans_dropped_total", "", int64(r.trace.Dropped()))
+	}
 }
 
 // cutModelAction parses /v2/models/{name}/{action} paths.

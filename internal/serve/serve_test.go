@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -402,15 +403,42 @@ func TestServerTraceRecordsBatches(t *testing.T) {
 	if rec.Len() == 0 {
 		t.Fatal("no spans recorded")
 	}
+	batches, reqSpans := 0, 0
 	for _, sp := range rec.Spans() {
-		if sp.Track != models.NameViTTiny {
-			t.Errorf("span on track %q", sp.Track)
+		if sp.Start < 0 {
+			t.Errorf("span %q on %q starts at %v; wall-clock spans must not be negative", sp.Name, sp.Track, sp.Start)
 		}
-		if sp.Duration <= 0 {
-			t.Errorf("span duration %v", sp.Duration)
+		if sp.Duration < 0 {
+			t.Errorf("span %q duration %v", sp.Name, sp.Duration)
 		}
-		if sp.Args["items"].(int) <= 0 {
-			t.Errorf("span args %v", sp.Args)
+		switch {
+		case sp.Track == models.NameViTTiny:
+			// Batch spans on the instance track.
+			batches++
+			if sp.Args["items"].(int) <= 0 {
+				t.Errorf("batch span args %v", sp.Args)
+			}
+			if _, ok := sp.Args["modeled_seconds"]; !ok {
+				t.Errorf("batch span missing modeled_seconds: %v", sp.Args)
+			}
+		case strings.HasPrefix(sp.Track, "req:t"):
+			reqSpans++
+		default:
+			t.Errorf("span on unexpected track %q", sp.Track)
 		}
+	}
+	if batches == 0 {
+		t.Error("no batch spans on the model track")
+	}
+	// Each served request records its stage decomposition.
+	if reqSpans < 3*4 {
+		t.Errorf("%d request-stage spans, want >= %d", reqSpans, 3*4)
+	}
+	// Pure simulation (TimeScale 0) must still produce a consistent
+	// timeline: this is the regression test for batch spans whose start
+	// was back-computed from modeled durations and could go negative or
+	// overlap.
+	if err := rec.Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
 	}
 }

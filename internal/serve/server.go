@@ -129,9 +129,19 @@ type Response struct {
 	ID    string
 	Model string
 	Items int
+	// AdmitSeconds is wall time spent in admission control, from Submit
+	// entry to the enqueue into the class lane.
+	AdmitSeconds float64
 	// QueueSeconds is real wall time spent in the dynamic batcher,
-	// measured from enqueue to the batch's execution start.
+	// measured from enqueue to the batch's execution start. It is the
+	// sum of the lane wait (LaneSeconds) and the batch-assembly window
+	// (AssembleSeconds).
 	QueueSeconds float64
+	// LaneSeconds is the lane wait: enqueue to batcher pickup.
+	LaneSeconds float64
+	// AssembleSeconds is the batch-assembly window: batcher pickup to
+	// the fused batch's execution start.
+	AssembleSeconds float64
 	// ComputeSeconds is the execution time of the batch the request was
 	// folded into: measured wall time when the engine really runs or
 	// sleeps, the modeled estimate in pure simulation (no real backend
@@ -201,10 +211,15 @@ type pending struct {
 	req      *Request
 	class    Class
 	deadline time.Time // zero = none
+	submitAt time.Time // Submit entry (admit stage start)
 	enqueued time.Time
-	state    atomic.Int32
-	done     chan *Response
-	err      chan error
+	// recvAt is the batcher pickup time, stamped only by the batcher
+	// goroutine (stampRecv); the send on the batches channel orders it
+	// before any instance read.
+	recvAt time.Time
+	state  atomic.Int32
+	done   chan *Response
+	err    chan error
 }
 
 // claim attempts to take ownership of the pending for batch dispatch.
@@ -253,6 +268,15 @@ type ModelMetrics struct {
 	// ClassQueueLatency holds the queue-latency summary per SLO class
 	// (keyed by Class.String()) for classes with observations.
 	ClassQueueLatency map[string]stats.Summary
+	// QueueHist and ComputeHist are the histogram snapshots the
+	// summaries above were computed from, in the shared bucket layout —
+	// what /v2/metrics ships so the router can merge distributions
+	// exactly.
+	QueueHist   metrics.HistogramSnapshot
+	ComputeHist metrics.HistogramSnapshot
+	// ClassQueueHist holds the per-class queue histograms (same keys as
+	// ClassQueueLatency).
+	ClassQueueHist map[string]metrics.HistogramSnapshot
 }
 
 type modelRuntime struct {
@@ -286,11 +310,31 @@ type Server struct {
 	mu     sync.Mutex
 	models map[string]*modelRuntime
 	closed bool
+	// trace, when set, is the default recorder for models registered
+	// without their own (ModelConfig.Trace). Request-stage spans and
+	// batch spans land here.
+	trace *trace.Recorder
 }
 
 // NewServer creates an empty server.
 func NewServer() *Server {
 	return &Server{models: make(map[string]*modelRuntime)}
+}
+
+// SetTrace installs the server-wide trace recorder. Models registered
+// afterwards without an explicit ModelConfig.Trace record into it.
+// Use a ring recorder (trace.NewRing) on long-lived servers.
+func (s *Server) SetTrace(r *trace.Recorder) {
+	s.mu.Lock()
+	s.trace = r
+	s.mu.Unlock()
+}
+
+// Trace returns the server-wide trace recorder, or nil.
+func (s *Server) Trace() *trace.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trace
 }
 
 // Register adds a model to the repository and starts its batcher and
@@ -326,6 +370,9 @@ func (s *Server) Register(cfg ModelConfig) error {
 	if _, ok := s.models[cfg.Name]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicateName, cfg.Name)
 	}
+	if cfg.Trace == nil {
+		cfg.Trace = s.trace
+	}
 	rt := &modelRuntime{
 		cfg:     cfg,
 		closing: make(chan struct{}),
@@ -344,10 +391,17 @@ func (s *Server) Register(cfg ModelConfig) error {
 		rt.batcherLoop(batches)
 	}()
 	for i := 0; i < cfg.Instances; i++ {
+		track := cfg.Name
+		if cfg.Instances > 1 {
+			// One trace track per instance: each instance is a serial
+			// resource, so per-instance tracks keep timelines
+			// overlap-free under trace.Validate.
+			track = fmt.Sprintf("%s#%d", cfg.Name, i)
+		}
 		rt.wg.Add(1)
 		go func() {
 			defer rt.wg.Done()
-			rt.instanceLoop(batches)
+			rt.instanceLoop(batches, track)
 		}()
 	}
 	return nil
@@ -392,6 +446,16 @@ func (rt *modelRuntime) estimatedExecDuration(items int) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
+// stampRecv marks the batcher pickup time (the end of the lane-wait
+// stage) once. Only the batcher goroutine writes it; the batches
+// channel send orders the write before any instance read.
+func stampRecv(p *pending) *pending {
+	if p != nil && p.recvAt.IsZero() {
+		p.recvAt = time.Now()
+	}
+	return p
+}
+
 // poll takes the next queued request without blocking, preferring
 // higher-priority lanes. Under backlog this is how realtime work
 // overtakes online and offline work.
@@ -399,7 +463,7 @@ func (rt *modelRuntime) poll() *pending {
 	for _, c := range laneOrder {
 		select {
 		case p := <-rt.queues[c]:
-			return p
+			return stampRecv(p)
 		default:
 		}
 	}
@@ -414,11 +478,11 @@ func (rt *modelRuntime) recv() *pending {
 	}
 	select {
 	case p := <-rt.queues[ClassRealtime]:
-		return p
+		return stampRecv(p)
 	case p := <-rt.queues[ClassOnline]:
-		return p
+		return stampRecv(p)
 	case p := <-rt.queues[ClassOffline]:
-		return p
+		return stampRecv(p)
 	case <-rt.closing:
 		return nil
 	}
@@ -534,8 +598,11 @@ func (rt *modelRuntime) batcherLoop(batches chan<- []*pending) {
 			if p == nil {
 				select {
 				case p = <-rt.queues[ClassRealtime]:
+					stampRecv(p)
 				case p = <-rt.queues[ClassOnline]:
+					stampRecv(p)
 				case p = <-rt.queues[ClassOffline]:
+					stampRecv(p)
 				case <-timer.C:
 					armed = false
 					break fill
@@ -650,10 +717,11 @@ func (rt *modelRuntime) failPending(p *pending) {
 	}
 }
 
-// instanceLoop executes fused batches on one engine instance.
-func (rt *modelRuntime) instanceLoop(batches <-chan []*pending) {
+// instanceLoop executes fused batches on one engine instance. track is
+// the instance's trace track name.
+func (rt *modelRuntime) instanceLoop(batches <-chan []*pending, track string) {
 	for batch := range batches {
-		rt.runBatch(batch)
+		rt.runBatch(batch, track)
 	}
 }
 
@@ -681,7 +749,66 @@ func (rt *modelRuntime) evictExpired(batch []*pending) []*pending {
 	return live
 }
 
-func (rt *modelRuntime) runBatch(batch []*pending) {
+// sinceEpoch is a trace timestamp: seconds since serveEpoch, clamped
+// to zero so timestamps taken before the epoch (or from zero-value
+// times) never produce the negative starts trace.Validate rejects.
+func sinceEpoch(t time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	s := t.Sub(serveEpoch).Seconds()
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// stageDur is a non-negative stage duration between two stamps.
+func stageDur(from, to time.Time) float64 {
+	if from.IsZero() || to.IsZero() {
+		return 0
+	}
+	if d := to.Sub(from).Seconds(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// recordRequestSpans writes one request's stage decomposition — admit,
+// queue (lane wait), batch-assembly, compute — onto its own trace
+// track "req:<id>". The stamps are monotone wall-clock times, so the
+// track is overlap-free by construction.
+func (rt *modelRuntime) recordRequestSpans(p *pending, execStart, execEnd time.Time, batchItems int) {
+	if rt.cfg.Trace == nil || p.req.ID == "" {
+		return
+	}
+	track := "req:" + p.req.ID
+	add := func(name string, from, to time.Time) {
+		d := stageDur(from, to)
+		start := sinceEpoch(to) - d
+		if start < 0 {
+			start = 0
+		}
+		rt.cfg.Trace.Add(trace.Span{
+			Name: name, Track: track, Start: start, Duration: d,
+			Args: map[string]any{"model": rt.cfg.Name, "class": p.class.String()},
+		})
+	}
+	add("admit", p.submitAt, p.enqueued)
+	add("queue", p.enqueued, p.recvAt)
+	add("batch-assembly", p.recvAt, execStart)
+	rt.cfg.Trace.Add(trace.Span{
+		Name: "compute", Track: track,
+		Start:    sinceEpoch(execStart),
+		Duration: stageDur(execStart, execEnd),
+		Args: map[string]any{
+			"model": rt.cfg.Name, "class": p.class.String(),
+			"batch_items": batchItems,
+		},
+	})
+}
+
+func (rt *modelRuntime) runBatch(batch []*pending, track string) {
 	if batch = rt.evictExpired(batch); len(batch) == 0 {
 		return
 	}
@@ -708,17 +835,19 @@ func (rt *modelRuntime) runBatch(batch []*pending) {
 	}
 	execEnd := time.Now()
 	if rt.cfg.Trace != nil {
-		end := time.Since(serveEpoch).Seconds()
-		dur := st.Seconds
+		// Batch spans sit on the instance's wall-clock timeline
+		// ([execStart, execEnd], never negative); the modeled engine
+		// estimate rides along in Args instead of skewing the timeline.
 		rt.cfg.Trace.Add(trace.Span{
 			Name:     fmt.Sprintf("batch(%d reqs, %d imgs)", len(batch), items),
-			Track:    rt.cfg.Name,
-			Start:    end - dur,
-			Duration: dur,
+			Track:    track,
+			Start:    sinceEpoch(execStart),
+			Duration: stageDur(execStart, execEnd),
 			Args: map[string]any{
-				"requests": len(batch),
-				"items":    items,
-				"failed":   err != nil,
+				"requests":        len(batch),
+				"items":           items,
+				"failed":          err != nil,
+				"modeled_seconds": st.Seconds,
 			},
 		})
 	}
@@ -743,17 +872,21 @@ func (rt *modelRuntime) runBatch(batch []*pending) {
 			queueSec = 0
 		}
 		resp := &Response{
-			ID:             p.req.ID,
-			Model:          rt.cfg.Name,
-			Items:          p.req.Items,
-			QueueSeconds:   queueSec,
-			ComputeSeconds: computeSec,
-			BatchSize:      items,
+			ID:              p.req.ID,
+			Model:           rt.cfg.Name,
+			Items:           p.req.Items,
+			AdmitSeconds:    stageDur(p.submitAt, p.enqueued),
+			QueueSeconds:    queueSec,
+			LaneSeconds:     stageDur(p.enqueued, p.recvAt),
+			AssembleSeconds: stageDur(p.recvAt, execStart),
+			ComputeSeconds:  computeSec,
+			BatchSize:       items,
 		}
 		if outputs != nil && len(p.req.Inputs) > 0 {
 			resp.Outputs = outputs[outOff : outOff+len(p.req.Inputs)]
 			outOff += len(p.req.Inputs)
 		}
+		rt.recordRequestSpans(p, execStart, execEnd, items)
 		rt.met.queueLat.Observe(queueSec)
 		rt.met.classQueueLat[p.class].Observe(queueSec)
 		rt.met.requests.Inc()
@@ -788,6 +921,7 @@ func (rt *modelRuntime) resolveDeadline(ctx context.Context, req *Request) time.
 // deadline passes before execution could complete is shed with
 // ErrDeadlineExpired.
 func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
+	submitAt := time.Now()
 	if req.Items <= 0 && len(req.Inputs) == 0 {
 		return nil, ErrEmptyRequest
 	}
@@ -835,6 +969,7 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		req:      req,
 		class:    req.Class,
 		deadline: deadline,
+		submitAt: submitAt,
 		enqueued: time.Now(),
 		done:     make(chan *Response, 1),
 		err:      make(chan error, 1),
@@ -956,6 +1091,8 @@ func (s *Server) Metrics() []ModelMetrics {
 }
 
 func (rt *modelRuntime) snapshot() ModelMetrics {
+	qh := rt.met.queueLat.Snapshot()
+	ch := rt.met.computeLat.Snapshot()
 	m := ModelMetrics{
 		Model:          rt.cfg.Name,
 		Requests:       rt.met.requests.Load(),
@@ -966,18 +1103,22 @@ func (rt *modelRuntime) snapshot() ModelMetrics {
 		Shed:           rt.met.shed.Load(),
 		Expired:        rt.met.expired.Load(),
 		QueueDepth:     rt.inflight.Load(),
-		QueueLatency:   rt.met.queueLat.Summary(),
-		ComputeLatency: rt.met.computeLat.Summary(),
+		QueueLatency:   qh.Summary(),
+		ComputeLatency: ch.Summary(),
+		QueueHist:      qh,
+		ComputeHist:    ch,
 	}
 	for c := Class(0); c < numClasses; c++ {
-		sum := rt.met.classQueueLat[c].Summary()
-		if sum.N == 0 {
+		h := rt.met.classQueueLat[c].Snapshot()
+		if h.Count == 0 {
 			continue
 		}
 		if m.ClassQueueLatency == nil {
 			m.ClassQueueLatency = make(map[string]stats.Summary, int(numClasses))
+			m.ClassQueueHist = make(map[string]metrics.HistogramSnapshot, int(numClasses))
 		}
-		m.ClassQueueLatency[c.String()] = sum
+		m.ClassQueueLatency[c.String()] = h.Summary()
+		m.ClassQueueHist[c.String()] = h
 	}
 	return m
 }

@@ -24,20 +24,50 @@ type Span struct {
 	Args map[string]any
 }
 
-// Recorder accumulates spans; safe for concurrent use.
+// Recorder accumulates spans; safe for concurrent use. An unbounded
+// recorder (NewRecorder) keeps every span — right for finite offline
+// experiments. A ring recorder (NewRing) keeps the most recent spans
+// in a fixed-capacity buffer and counts the rest as dropped — right
+// for long-lived servers, where the trace must not grow with uptime.
 type Recorder struct {
-	mu    sync.Mutex
-	spans []Span
+	mu      sync.Mutex
+	spans   []Span
+	cap     int    // 0 = unbounded
+	head    int    // next write position when the ring is full
+	dropped uint64 // spans evicted from the ring
 }
 
-// NewRecorder returns an empty recorder.
+// NewRecorder returns an empty unbounded recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewRing returns a recorder that retains only the most recent
+// capacity spans; older spans are evicted and counted by Dropped.
+// capacity <= 0 falls back to unbounded.
+func NewRing(capacity int) *Recorder {
+	if capacity <= 0 {
+		return NewRecorder()
+	}
+	return &Recorder{cap: capacity}
+}
 
 // Add records a span.
 func (r *Recorder) Add(s Span) {
 	r.mu.Lock()
-	r.spans = append(r.spans, s)
+	if r.cap > 0 && len(r.spans) == r.cap {
+		r.spans[r.head] = s
+		r.head = (r.head + 1) % r.cap
+		r.dropped++
+	} else {
+		r.spans = append(r.spans, s)
+	}
 	r.mu.Unlock()
+}
+
+// Dropped returns the number of spans evicted from a ring recorder.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Spans returns a copy of the recorded spans sorted by start time.
@@ -49,7 +79,7 @@ func (r *Recorder) Spans() []Span {
 	return cp
 }
 
-// Len returns the number of recorded spans.
+// Len returns the number of retained spans.
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

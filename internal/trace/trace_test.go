@@ -105,3 +105,59 @@ func TestValidateDetectsOverlap(t *testing.T) {
 		t.Error("negative duration accepted")
 	}
 }
+
+func TestRingRecorderBoundsMemory(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Span{Name: "s", Track: "t", Start: float64(i), Duration: 0.5})
+	}
+	if r.Len() != 4 {
+		t.Errorf("len %d, want capacity 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped %d, want 6", r.Dropped())
+	}
+	// Only the most recent spans survive.
+	spans := r.Spans()
+	if spans[0].Start != 6 || spans[len(spans)-1].Start != 9 {
+		t.Errorf("retained window %v..%v, want 6..9", spans[0].Start, spans[len(spans)-1].Start)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("ring timeline invalid: %v", err)
+	}
+}
+
+func TestRingRecorderUnboundedFallback(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 100; i++ {
+		r.Add(Span{Name: "s", Track: "t", Start: float64(i), Duration: 1})
+	}
+	if r.Len() != 100 || r.Dropped() != 0 {
+		t.Errorf("len %d dropped %d, want unbounded behaviour", r.Len(), r.Dropped())
+	}
+}
+
+func TestRingRecorderConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(Span{Name: "s", Track: "t", Start: float64(g*1000 + i), Duration: 0.1})
+				if i%50 == 0 {
+					_ = r.Spans()
+					_ = r.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("len %d, want 64", r.Len())
+	}
+	if got := r.Dropped(); got != 8*500-64 {
+		t.Errorf("dropped %d, want %d", got, 8*500-64)
+	}
+}
