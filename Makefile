@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet check bench bench-preproc
 
 all: check
 
@@ -15,12 +15,18 @@ vet:
 
 # Race-check the concurrency-heavy packages (serving path incl. the
 # replica-pool router, the lock-free metrics recorders, the trace ring
-# buffer, pipeline, and the live sim-vs-real validation).
+# buffer, pipeline, the live sim-vs-real validation, and the pooled
+# preprocessing engines).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/...
+	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/...
 
 # The CI gate: tier-1 tests plus vet and the race suite.
 check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Preprocessing microbenchmarks: fused-vs-naive kernel, pooled-vs-alloc
+# buffers, throughput vs worker count on a 4K raw frame.
+bench-preproc:
+	$(GO) test ./internal/preprocess/ -run NONE -bench BenchmarkPreprocess -benchmem

@@ -14,7 +14,7 @@
 //	               [-addr :8100] [-probe-interval 250ms] [-eject-after 3]
 //	               [-ejection-duration 2s] [-drain-timeout 5s]
 //	               [-read-header-timeout 5s] [-trace-cap 4096]
-//	               [-pprof-addr localhost:6061]
+//	               [-pprof-addr localhost:6061] [-max-body-bytes 67108864]
 package main
 
 import (
@@ -52,6 +52,8 @@ func main() {
 			"trace ring-buffer capacity for GET /v2/trace (negative disables)")
 		pprofAddr = flag.String("pprof-addr", "",
 			"optional net/http/pprof listen address (e.g. localhost:6061); empty disables")
+		maxBodyBytes = flag.Int64("max-body-bytes", 0,
+			"request-body cap before proxying; raise for large base64 image batches (0 = 64 MiB default, negative disables)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,7 @@ func main() {
 		},
 		DrainTimeout:  *drainTimeout,
 		TraceCapacity: *traceCap,
+		MaxBodyBytes:  *maxBodyBytes,
 	})
 	if err != nil {
 		log.Fatal(err)

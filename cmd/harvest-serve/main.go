@@ -12,6 +12,7 @@
 //	              [-max-queue-depth 1024] [-realtime-slo 16.7ms]
 //	              [-read-header-timeout 5s] [-trace-cap 4096]
 //	              [-pprof-addr localhost:6060]
+//	              [-preproc cpu|cv2] [-preproc-workers 0]
 package main
 
 import (
@@ -53,6 +54,10 @@ func main() {
 			"trace ring-buffer capacity for GET /v2/trace (negative disables)")
 		pprofAddr = flag.String("pprof-addr", "",
 			"optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
+		preproc = flag.String("preproc", "",
+			"accept encoded images (images_b64) on /v2/infer, preprocessed by this engine: cpu (PyTorch-style) or cv2; empty disables")
+		preprocWorkers = flag.Int("preproc-workers", 0,
+			"decode/resize worker-pool size shared across models (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -65,6 +70,8 @@ func main() {
 		MaxQueueDepth:  *maxQueueDepth,
 		RealtimeBudget: *realtimeSLO,
 		TraceCapacity:  *traceCap,
+		Preproc:        *preproc,
+		PreprocWorkers: *preprocWorkers,
 	}
 	if *modelsArg != "" {
 		for _, m := range strings.Split(*modelsArg, ",") {
@@ -81,6 +88,9 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("registered %s (max batch %d, %d instance(s))", name, mc.MaxBatch, mc.Instances)
+	}
+	if *preproc != "" {
+		log.Printf("encoded-image preprocessing enabled (%s engine)", *preproc)
 	}
 	log.Printf("platform %s, serving on %s (JSON metrics at /v2/metrics, Prometheus at /metrics, trace at /v2/trace)",
 		*platform, *addr)

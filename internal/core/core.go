@@ -14,6 +14,7 @@ import (
 	"harvest/internal/experiments"
 	"harvest/internal/hw"
 	"harvest/internal/models"
+	"harvest/internal/preprocess"
 	"harvest/internal/serve"
 	"harvest/internal/trace"
 )
@@ -111,6 +112,34 @@ type DeploymentConfig struct {
 	// GET /v2/trace (default serve.DefaultTraceCapacity; negative
 	// disables tracing).
 	TraceCapacity int
+	// Preproc attaches an encoded-image preprocessor to every model so
+	// POST /v2/infer accepts images_b64 alongside raw tensors. Choices
+	// are Fig. 7's CPU engines: "cpu" (or "pytorch") for the
+	// torchvision-style pipeline, "cv2" for the OpenCV-style one.
+	// Empty disables the encoded path.
+	Preproc string
+	// PreprocWorkers sizes the decode/resize worker pool shared by all
+	// models (0 = one worker per CPU). The pool's goroutines live for
+	// the process lifetime. Only meaningful when Preproc is set.
+	PreprocWorkers int
+}
+
+// newPreprocessor builds the configured CPU preprocessing engine for
+// one model, sized to that model's Table 3 input resolution.
+func newPreprocessor(kind string, p *hw.Platform, out int, pool *preprocess.Pool) (*preprocess.CPUEngine, error) {
+	var e *preprocess.CPUEngine
+	switch kind {
+	case "cpu", "pytorch":
+		e = &preprocess.CPUEngine{Platform: p, Out: out}
+	case "cv2":
+		e = preprocess.NewCV2Engine(p, out)
+	default:
+		return nil, fmt.Errorf("core: unknown preprocessor %q (want cpu, pytorch or cv2)", kind)
+	}
+	// Serving needs the actual tensors, not just the modeled cost.
+	e.Materialize = true
+	e.Pool = pool
+	return e, nil
 }
 
 // NewDeployment builds a running inference server hosting the
@@ -136,13 +165,17 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 		// Installed before Register so every model records into it.
 		srv.SetTrace(trace.NewRing(cfg.TraceCapacity))
 	}
+	var pool *preprocess.Pool
+	if cfg.Preproc != "" {
+		pool = preprocess.NewPool(cfg.PreprocWorkers)
+	}
 	for _, name := range names {
 		eng, err := engine.New(p, name)
 		if err != nil {
 			srv.Close()
 			return nil, err
 		}
-		if err := srv.Register(serve.ModelConfig{
+		mc := serve.ModelConfig{
 			Name:           name,
 			Engine:         eng,
 			QueueDelay:     cfg.QueueDelay,
@@ -151,7 +184,22 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 			DrainTimeout:   cfg.DrainTimeout,
 			MaxQueueDepth:  cfg.MaxQueueDepth,
 			RealtimeBudget: cfg.RealtimeBudget,
-		}); err != nil {
+		}
+		if pool != nil {
+			entry, err := models.ByName(name)
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			pre, err := newPreprocessor(cfg.Preproc, p, entry.Spec.InputSize, pool)
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			mc.Preproc = pre
+			mc.InputSize = entry.Spec.InputSize
+		}
+		if err := srv.Register(mc); err != nil {
 			srv.Close()
 			return nil, err
 		}

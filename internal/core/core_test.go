@@ -7,7 +7,9 @@ import (
 	"testing"
 
 	"harvest/internal/experiments"
+	"harvest/internal/imaging"
 	"harvest/internal/serve"
+	"harvest/internal/stats"
 )
 
 func TestCharacterizeSubset(t *testing.T) {
@@ -88,5 +90,66 @@ func TestNewDeploymentSubsetJetson(t *testing.T) {
 	// Jetson ViT_Tiny engine max batch is 196.
 	if cfg.MaxBatch != 196 {
 		t.Errorf("derived max batch %d, want 196", cfg.MaxBatch)
+	}
+}
+
+func TestNewDeploymentWithPreprocessing(t *testing.T) {
+	srv, err := NewDeployment(DeploymentConfig{
+		Platform: "A100", Models: []string{"ViT_Tiny", "ViT_Base"},
+		Preproc: "cpu", PreprocWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Each model's preprocessor must target that model's input size.
+	for name, want := range map[string]int{"ViT_Tiny": 32, "ViT_Base": 224} {
+		cfg, err := srv.ModelConfigFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Preproc == nil || cfg.Preproc.OutRes() != want {
+			t.Errorf("%s preprocessor %v, want OutRes %d", name, cfg.Preproc, want)
+		}
+		if cfg.InputSize != want {
+			t.Errorf("%s InputSize %d, want %d", name, cfg.InputSize, want)
+		}
+	}
+	// An encoded frame flows through Submit end-to-end.
+	im := imaging.Synthesize(64, 48, imaging.KindRows, stats.NewRNG(3))
+	data, err := imaging.EncodeBytes(im, imaging.FormatJPEG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Submit(context.Background(), &serve.Request{
+		Model: "ViT_Tiny", Images: [][]byte{data},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Items != 1 || resp.PreprocessSeconds <= 0 {
+		t.Errorf("response %+v", resp)
+	}
+}
+
+func TestNewDeploymentPreprocEngines(t *testing.T) {
+	for kind, label := range map[string]string{"pytorch": "PyTorch", "cv2": "CV2"} {
+		srv, err := NewDeployment(DeploymentConfig{
+			Platform: "V100", Models: []string{"ViT_Tiny"}, Preproc: kind,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := srv.ModelConfigFor("ViT_Tiny")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Preproc.Name() != label {
+			t.Errorf("%s engine label %q, want %q", kind, cfg.Preproc.Name(), label)
+		}
+		srv.Close()
+	}
+	if _, err := NewDeployment(DeploymentConfig{Platform: "A100", Preproc: "dali"}); err == nil {
+		t.Error("unknown preprocessor accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"image"
 	"image/jpeg"
 	"io"
+	"strings"
 )
 
 // EncodePPM writes the image as binary PPM (P6). PPM stands in for the
@@ -26,6 +27,13 @@ func EncodePPM(w io.Writer, im *Image) error {
 
 // DecodePPM reads a binary PPM (P6) image.
 func DecodePPM(r io.Reader) (*Image, error) {
+	return decodePPMInto(r, nil)
+}
+
+// decodePPMInto decodes a PPM, reusing dst's pixel buffer when it is
+// large enough (raw-frame decode is then a pure read, with no
+// allocation and no redundant zeroing of the fresh buffer).
+func decodePPMInto(r io.Reader, dst *Image) (*Image, error) {
 	br := bufio.NewReader(r)
 	var magic string
 	var w, h, maxv int
@@ -44,11 +52,98 @@ func DecodePPM(r io.Reader) (*Image, error) {
 	if _, err := br.ReadByte(); err != nil { // single whitespace after maxval
 		return nil, err
 	}
-	im := NewImage(w, h)
+	im := ReuseImage(dst, w, h)
 	if _, err := io.ReadFull(br, im.Pix); err != nil {
 		return nil, fmt.Errorf("imaging: short ppm pixel data: %w", err)
 	}
 	return im, nil
+}
+
+// parsePPMHeader scans a binary PPM header from an in-memory slice
+// without fmt/bufio (and therefore without allocating), returning the
+// dimensions and the offset of the pixel payload.
+func parsePPMHeader(data []byte) (w, h, off int, err error) {
+	pos := 0
+	skipSpace := func() {
+		for pos < len(data) && (data[pos] == ' ' || data[pos] == '\t' ||
+			data[pos] == '\n' || data[pos] == '\r') {
+			pos++
+		}
+	}
+	readInt := func() (int, bool) {
+		skipSpace()
+		start, n := pos, 0
+		for pos < len(data) && data[pos] >= '0' && data[pos] <= '9' {
+			n = n*10 + int(data[pos]-'0')
+			pos++
+			if n > 1<<30 {
+				return 0, false
+			}
+		}
+		return n, pos > start
+	}
+	skipSpace()
+	if pos+2 > len(data) || data[pos] != 'P' || data[pos+1] != '6' {
+		return 0, 0, 0, fmt.Errorf("imaging: bad ppm header: missing P6 magic")
+	}
+	pos += 2
+	w, okW := readInt()
+	h, okH := readInt()
+	maxv, okM := readInt()
+	if !okW || !okH || !okM {
+		return 0, 0, 0, fmt.Errorf("imaging: bad ppm header: truncated dimensions")
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return 0, 0, 0, fmt.Errorf("imaging: unreasonable ppm dimensions %dx%d", w, h)
+	}
+	if maxv != 255 {
+		return 0, 0, 0, fmt.Errorf("imaging: unsupported maxval %d", maxv)
+	}
+	pos++ // single whitespace after maxval
+	if pos > len(data) {
+		return 0, 0, 0, fmt.Errorf("imaging: short ppm pixel data: empty payload")
+	}
+	return w, h, pos, nil
+}
+
+// decodePPMBytesInto is decodePPMInto for in-memory data: the manual
+// header scan means decoding a raw frame into a warm reused buffer
+// performs no allocations.
+func decodePPMBytesInto(data []byte, dst *Image) (*Image, error) {
+	w, h, off, err := parsePPMHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	im := ReuseImage(dst, w, h)
+	if len(data)-off < len(im.Pix) {
+		return nil, fmt.Errorf("imaging: short ppm pixel data: have %d bytes, want %d",
+			len(data)-off, len(im.Pix))
+	}
+	copy(im.Pix, data[off:])
+	return im, nil
+}
+
+// DecodePPMZeroCopy decodes a raw PPM without copying the pixel
+// payload: the returned Image aliases data, which the caller must keep
+// alive and unmodified while the image is in use. hdr, when non-nil,
+// is reused as the returned Image header. For multi-megapixel raw
+// frames this skips the single largest cost of decoding — the payload
+// memcpy.
+func DecodePPMZeroCopy(data []byte, hdr *Image) (*Image, error) {
+	w, h, off, err := parsePPMHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	n := w * h * Channels
+	if len(data)-off < n {
+		return nil, fmt.Errorf("imaging: short ppm pixel data: have %d bytes, want %d",
+			len(data)-off, n)
+	}
+	if hdr == nil {
+		hdr = &Image{}
+	}
+	hdr.W, hdr.H, hdr.Pix = w, h, data[off:off+n:off+n]
+	return hdr, nil
 }
 
 // EncodeJPEG compresses the image with the standard library encoder at
@@ -70,12 +165,19 @@ func EncodeJPEG(w io.Writer, im *Image, quality int) error {
 
 // DecodeJPEG decompresses a JPEG stream into an Image.
 func DecodeJPEG(r io.Reader) (*Image, error) {
+	return decodeJPEGInto(r, nil)
+}
+
+// decodeJPEGInto decodes a JPEG, converting into dst's reused pixel
+// buffer when it is large enough. The stdlib decoder still allocates
+// its own planes internally; reuse here saves the final RGB raster.
+func decodeJPEGInto(r io.Reader, dst *Image) (*Image, error) {
 	src, err := jpeg.Decode(r)
 	if err != nil {
 		return nil, fmt.Errorf("imaging: jpeg decode: %w", err)
 	}
 	b := src.Bounds()
-	im := NewImage(b.Dx(), b.Dy())
+	im := ReuseImage(dst, b.Dx(), b.Dy())
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
 			r16, g16, b16, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
@@ -95,6 +197,18 @@ const (
 	// FormatPPM (raw) is bandwidth-bound to decode.
 	FormatPPM
 )
+
+// ParseFormat maps a wire name to a Format. The empty string means
+// JPEG, the dominant encoding of the paper's datasets.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "jpeg", "jpg":
+		return FormatJPEG, nil
+	case "ppm", "raw":
+		return FormatPPM, nil
+	}
+	return FormatJPEG, fmt.Errorf("imaging: unknown format %q", s)
+}
 
 // String names the format.
 func (f Format) String() string {

@@ -1,0 +1,180 @@
+package imaging
+
+import "fmt"
+
+// This file implements the fused preprocessing kernel: the
+// ResizeShortSide → CenterCrop → Normalize composition collapsed into
+// one pass that writes directly into a caller-supplied CHW float32
+// buffer. The naive composition materializes three intermediate
+// full-size buffers per image (the resized image, the cropped image,
+// the output tensor); the fused kernel materializes none and never
+// computes resized pixels that the center crop would discard. The
+// arithmetic is kept expression-for-expression identical to the naive
+// path (including Resize's bilinear rounding and Normalize's float32
+// order of operations), so the fused output is bit-for-bit equal —
+// TestFusedMatchesNaive pins this.
+
+// FusedDims returns the post-crop output dimensions the fused kernel
+// (and the naive ResizeShortSide→CenterCrop composition) produces for
+// a srcW x srcH source at output resolution out. Both are out except
+// in the degenerate case where the aspect-preserving resize leaves a
+// dimension below out (impossible for out >= 1 and positive sources,
+// kept for exact CenterCrop clamp parity).
+func FusedDims(srcW, srcH, out int) (w, h int) {
+	rw, rh := resizeShortSideDims(srcW, srcH, out)
+	w, h = out, out
+	if w > rw {
+		w = rw
+	}
+	if h > rh {
+		h = rh
+	}
+	return w, h
+}
+
+// FusedLen returns the CHW tensor length the fused kernel produces.
+func FusedLen(srcW, srcH, out int) int {
+	w, h := FusedDims(srcW, srcH, out)
+	return Channels * w * h
+}
+
+// resizeShortSideDims mirrors ResizeShortSide's target size
+// computation without performing the resize.
+func resizeShortSideDims(srcW, srcH, target int) (int, int) {
+	if srcW <= srcH {
+		h := int(float64(srcH) * float64(target) / float64(srcW))
+		if h < 1 {
+			h = 1
+		}
+		return target, h
+	}
+	w := int(float64(srcW) * float64(target) / float64(srcH))
+	if w < 1 {
+		w = 1
+	}
+	return w, target
+}
+
+// FusedKernel is a reusable fused-preprocessing kernel. Its scratch
+// (per-column sample maps) is retained between calls, so a long-lived
+// worker pays the per-row index computation once per image instead of
+// allocating. The zero value is ready to use. Not safe for concurrent
+// use; give each worker its own.
+type FusedKernel struct {
+	x0, x1 []int
+	tx     []float64
+}
+
+// growMaps sizes the per-column scratch to n entries.
+func (k *FusedKernel) growMaps(n int) {
+	if cap(k.x0) < n {
+		k.x0 = make([]int, n)
+		k.x1 = make([]int, n)
+		k.tx = make([]float64, n)
+	}
+	k.x0 = k.x0[:n]
+	k.x1 = k.x1[:n]
+	k.tx = k.tx[:n]
+}
+
+// ResizeCropNormalizeInto runs the fused pipeline: aspect-preserving
+// resize of the short side to out, centered out x out crop, ImageNet-style
+// (x/255 - mean)/std normalization, written channel-major into dst.
+// dst must have length FusedLen(src.W, src.H, out); the produced crop
+// dimensions are returned. The output is bit-for-bit identical to
+// Normalize(CenterCrop(ResizeShortSide(src, out), out, out), mean, std).
+func (k *FusedKernel) ResizeCropNormalizeInto(dst []float32, src *Image, out int, mean, std [3]float32) (w, h int, err error) {
+	if out <= 0 {
+		return 0, 0, fmt.Errorf("imaging: fused resize to invalid output %d", out)
+	}
+	rw, rh := resizeShortSideDims(src.W, src.H, out)
+	w, h = FusedDims(src.W, src.H, out)
+	if len(dst) != Channels*w*h {
+		return 0, 0, fmt.Errorf("imaging: fused dst length %d, need %d", len(dst), Channels*w*h)
+	}
+	// Center-crop offsets in resized coordinates.
+	cx := (rw - w) / 2
+	cy := (rh - h) / 2
+	n := w * h
+	var inv, m [3]float32
+	for c := 0; c < Channels; c++ {
+		// Same float32 expressions as Normalize.
+		inv[c] = 1 / std[c]
+		m[c] = mean[c]
+	}
+	if rw == src.W && rh == src.H {
+		// Identity resize (Resize's Clone fast path): crop + normalize
+		// straight from the source pixels.
+		for y := 0; y < h; y++ {
+			srcOff := ((cy+y)*src.W + cx) * Channels
+			for x := 0; x < w; x++ {
+				di := y*w + x
+				for c := 0; c < Channels; c++ {
+					v := float32(src.Pix[srcOff+x*Channels+c]) / 255
+					dst[c*n+di] = (v - m[c]) * inv[c]
+				}
+			}
+		}
+		return w, h, nil
+	}
+	xRatio := float64(src.W) / float64(rw)
+	yRatio := float64(src.H) / float64(rh)
+	// Precompute the horizontal sample map once for all rows; the
+	// expressions match Resize exactly, evaluated at the cropped column
+	// range [cx, cx+w).
+	k.growMaps(w)
+	for x := 0; x < w; x++ {
+		sx := (float64(cx+x)+0.5)*xRatio - 0.5
+		x0 := int(sx)
+		if sx < 0 {
+			sx, x0 = 0, 0
+		}
+		tx := sx - float64(x0)
+		x1 := x0 + 1
+		if x1 >= src.W {
+			x1 = src.W - 1
+		}
+		k.x0[x], k.x1[x], k.tx[x] = x0*Channels, x1*Channels, tx
+	}
+	for y := 0; y < h; y++ {
+		sy := (float64(cy+y)+0.5)*yRatio - 0.5
+		y0 := int(sy)
+		if sy < 0 {
+			sy, y0 = 0, 0
+		}
+		ty := sy - float64(y0)
+		y1 := y0 + 1
+		if y1 >= src.H {
+			y1 = src.H - 1
+		}
+		row0 := y0 * src.W * Channels
+		row1 := y1 * src.W * Channels
+		for x := 0; x < w; x++ {
+			i00 := row0 + k.x0[x]
+			i10 := row0 + k.x1[x]
+			i01 := row1 + k.x0[x]
+			i11 := row1 + k.x1[x]
+			tx := k.tx[x]
+			di := y*w + x
+			for c := 0; c < Channels; c++ {
+				top := float64(src.Pix[i00+c])*(1-tx) + float64(src.Pix[i10+c])*tx
+				bot := float64(src.Pix[i01+c])*(1-tx) + float64(src.Pix[i11+c])*tx
+				p := clamp8(top*(1-ty) + bot*ty + 0.5)
+				v := float32(p) / 255
+				dst[c*n+di] = (v - m[c]) * inv[c]
+			}
+		}
+	}
+	return w, h, nil
+}
+
+// FusedResizeCropNormalize is the allocating convenience wrapper
+// around FusedKernel.ResizeCropNormalizeInto.
+func FusedResizeCropNormalize(src *Image, out int, mean, std [3]float32) []float32 {
+	var k FusedKernel
+	dst := make([]float32, FusedLen(src.W, src.H, out))
+	if _, _, err := k.ResizeCropNormalizeInto(dst, src, out, mean, std); err != nil {
+		panic(err) // only reachable via invalid out; mirrors Resize's panic contract
+	}
+	return dst
+}

@@ -1,0 +1,136 @@
+package imaging
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Buffer pooling for the preprocessing hot path. A naive per-image
+// pipeline allocates (and for raw frames, zeroes) tens of megabytes
+// per sample; under serving load that allocator and GC traffic is pure
+// overhead. TensorPool and ImagePool are sync.Pool-backed recyclers
+// shared safely across goroutines; ReuseImage is the single-owner
+// variant for a worker's pinned scratch buffer.
+
+// TensorPool recycles CHW float32 tensor buffers across requests.
+// The zero value is ready to use. Get never returns a smaller buffer
+// than requested; undersized pooled buffers are dropped for the GC.
+type TensorPool struct {
+	p sync.Pool
+}
+
+// Get returns a length-n float32 buffer with arbitrary contents.
+func (tp *TensorPool) Get(n int) []float32 {
+	if v, _ := tp.p.Get().(*[]float32); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]float32, n)
+}
+
+// Put recycles a buffer obtained from Get (or anywhere else). The
+// caller must not retain t afterwards.
+func (tp *TensorPool) Put(t []float32) {
+	if cap(t) == 0 {
+		return
+	}
+	t = t[:0]
+	tp.p.Put(&t)
+}
+
+// ImagePool recycles Image rasters across requests. The zero value is
+// ready to use. Returned images have undefined pixel contents; callers
+// that need a cleared canvas (e.g. perspective warps, whose
+// out-of-range regions stay background) must clear Pix themselves or
+// use GetZeroed.
+type ImagePool struct {
+	p sync.Pool
+}
+
+// Get returns a w x h image with arbitrary pixel contents.
+func (ip *ImagePool) Get(w, h int) *Image {
+	n := w * h * Channels
+	if v, _ := ip.p.Get().(*Image); v != nil && cap(v.Pix) >= n {
+		v.W, v.H = w, h
+		v.Pix = v.Pix[:n]
+		return v
+	}
+	return NewImage(w, h)
+}
+
+// GetZeroed returns a w x h image with all pixels black.
+func (ip *ImagePool) GetZeroed(w, h int) *Image {
+	im := ip.Get(w, h)
+	clear(im.Pix)
+	return im
+}
+
+// Put recycles an image. The caller must not retain im afterwards.
+func (ip *ImagePool) Put(im *Image) {
+	if im == nil || cap(im.Pix) == 0 {
+		return
+	}
+	ip.p.Put(im)
+}
+
+// ReuseImage resizes im to w x h reusing its pixel buffer when it is
+// large enough, allocating otherwise. Pixel contents are undefined; a
+// nil im is allocated fresh. This is the single-owner (per-worker
+// pinned scratch) counterpart of ImagePool.
+func ReuseImage(im *Image, w, h int) *Image {
+	n := w * h * Channels
+	if im == nil || cap(im.Pix) < n {
+		return NewImage(w, h)
+	}
+	im.W, im.H = w, h
+	im.Pix = im.Pix[:n]
+	return im
+}
+
+// DecodeBytesInto decodes like DecodeBytes but reuses dst's pixel
+// buffer when possible (dst may be nil). The returned image aliases
+// dst's storage when it was large enough; the caller must treat dst as
+// invalid afterwards and use the returned image.
+func DecodeBytesInto(data []byte, f Format, dst *Image) (*Image, error) {
+	switch f {
+	case FormatJPEG:
+		return decodeJPEGInto(bytes.NewReader(data), dst)
+	case FormatPPM:
+		return decodePPMBytesInto(data, dst)
+	}
+	return DecodeBytes(data, f) // unknown format: shared error path
+}
+
+// WarpPerspectiveInto renders src through the homography into dst
+// (whose dimensions define the output), like WarpPerspective but
+// without allocating. Out-of-range regions are painted black, so dirty
+// recycled buffers are safe.
+func WarpPerspectiveInto(dst, src *Image, h Homography) {
+	for y := 0; y < dst.H; y++ {
+		for x := 0; x < dst.W; x++ {
+			sx, sy := h.Apply(float64(x), float64(y))
+			di := (y*dst.W + x) * Channels
+			if sx < 0 || sy < 0 || sx > float64(src.W-1) || sy > float64(src.H-1) {
+				dst.Pix[di], dst.Pix[di+1], dst.Pix[di+2] = 0, 0, 0
+				continue
+			}
+			x0, y0 := int(sx), int(sy)
+			x1, y1 := x0+1, y0+1
+			if x1 >= src.W {
+				x1 = src.W - 1
+			}
+			if y1 >= src.H {
+				y1 = src.H - 1
+			}
+			tx, ty := sx-float64(x0), sy-float64(y0)
+			for c := 0; c < Channels; c++ {
+				i00 := (y0*src.W + x0) * Channels
+				i10 := (y0*src.W + x1) * Channels
+				i01 := (y1*src.W + x0) * Channels
+				i11 := (y1*src.W + x1) * Channels
+				top := float64(src.Pix[i00+c])*(1-tx) + float64(src.Pix[i10+c])*tx
+				bot := float64(src.Pix[i01+c])*(1-tx) + float64(src.Pix[i11+c])*tx
+				dst.Pix[di+c] = clamp8(top*(1-ty) + bot*ty + 0.5)
+			}
+		}
+	}
+}

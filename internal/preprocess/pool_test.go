@@ -1,0 +1,92 @@
+package preprocess
+
+import (
+	"sync"
+	"testing"
+
+	"harvest/internal/datasets"
+	"harvest/internal/hw"
+)
+
+// TestConcurrentProcessBatchOnSharedPool hammers one shared worker
+// pool — and one shared engine — from many concurrent ProcessBatch
+// callers, the shape the serving layer produces when several requests
+// hit the preprocess stage at once. Run under -race (the Makefile race
+// gate includes this package) it pins that per-worker pinned scratch,
+// the lazily started owned pool, and the streaming result path are
+// data-race free, and that results never cross between interleaved
+// batches.
+func TestConcurrentProcessBatchOnSharedPool(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	items := testItems(t, datasets.SlugFruits360, 4)
+	shared := &CPUEngine{Platform: hw.A100(), Out: 32, Materialize: true,
+		Workers: 4, Pool: pool}
+	want, err := (&CPUEngine{Platform: hw.A100(), Out: 32, Materialize: true}).ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				res, err := shared.ProcessBatch(items)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				for i := range res.Tensors {
+					for j, v := range res.Tensors[i] {
+						if v != want.Tensors[i][j] {
+							t.Errorf("caller %d iter %d: tensor %d diverges at %d", c, iter, i, j)
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", c, err)
+		}
+	}
+}
+
+// TestConcurrentSingleThreadedCallers covers the workers==1 path under
+// concurrency: the scratch sync.Pool must hand each caller its own
+// buffers.
+func TestConcurrentSingleThreadedCallers(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 2)
+	e := &CPUEngine{Platform: hw.A100(), Out: 32, Materialize: true}
+	want, err := e.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.ProcessBatch(items)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range res.Tensors {
+				for j, v := range res.Tensors[i] {
+					if v != want.Tensors[i][j] {
+						t.Errorf("tensor %d diverges at %d", i, j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

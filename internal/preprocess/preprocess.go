@@ -4,15 +4,20 @@
 // rectification for the CRSA camera feed, and a GPU engine modeling
 // NVIDIA DALI on the calibrated platform models.
 //
-// The CPU engines really decode, warp, resize and normalize pixels and
-// report measured time scaled to the target platform's CPU; the GPU
-// engine reports modeled time from internal/hw. Both can materialize
-// the normalized CHW tensors the model engines consume.
+// The CPU engines really decode, warp, resize and normalize pixels —
+// through the fused single-pass kernel in internal/imaging and, with
+// Workers > 1, a persistent worker pool with per-worker pinned scratch
+// buffers (the §4.2 "parallel acceleration of the CPU-bound path") —
+// and report measured work scaled to the target platform's CPU; the
+// GPU engine reports modeled time from internal/hw. Both can
+// materialize the normalized CHW tensors the model engines consume.
 package preprocess
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harvest/internal/datasets"
@@ -45,9 +50,23 @@ type Result struct {
 	// Tensors holds the normalized CHW float32 tensors (3*out*out per
 	// image) when the engine materializes outputs; nil otherwise.
 	Tensors [][]float32
-	// Seconds is the batch's duration on the target platform: measured
-	// host time scaled for CPU engines, modeled time for GPU engines.
+	// Seconds is the batch's duration on the target platform. For CPU
+	// engines it is the aggregate CPU work: each item's host processing
+	// time is measured on the worker that ran it, summed across the
+	// batch, and scaled by the platform's single-thread core speed
+	// (hw.ScaleCPUSeconds) — so the modeled platform cost of the batch
+	// is independent of how many host workers happened to run it.
+	// (Previously the parallel path scaled the parallel *wall-clock*
+	// through the single-thread model, silently deflating modeled
+	// platform time by up to the worker count.) For GPU engines it is
+	// the modeled batch time. Note: under host CPU oversubscription
+	// (more workers than cores), per-item measurements include
+	// scheduler interleaving and Seconds overestimates.
 	Seconds float64
+	// WallSeconds is the real host wall-clock duration of the batch —
+	// what the caller actually waited, which shrinks as Workers grows.
+	// Zero for purely modeled (GPU) engines.
+	WallSeconds float64
 }
 
 // Engine transforms batches of raw images into model-ready tensors.
@@ -61,20 +80,11 @@ type Engine interface {
 	ProcessBatch(items []Item) (Result, error)
 }
 
-func decodeItem(it Item) (*imaging.Image, error) {
-	if it.Decoded != nil {
-		return it.Decoded, nil
-	}
-	if it.Encoded == nil {
-		return nil, fmt.Errorf("preprocess: item has neither decoded nor encoded pixels")
-	}
-	return imaging.DecodeBytes(it.Encoded, it.Format)
-}
-
 // CPUEngine is the Torchvision-style CPU baseline: decode, optional
-// task-specific transform, resize to the output resolution, center
-// crop, ImageNet normalization. All work is real; the reported Seconds
-// scale the measured single-thread host time to the target platform.
+// task-specific transform, then the fused resize+crop+normalize kernel
+// writing straight into the output tensor. All pixel work is real; see
+// Result.Seconds for the platform-time semantics. Safe for concurrent
+// ProcessBatch calls.
 type CPUEngine struct {
 	Platform *hw.Platform
 	Out      int
@@ -88,11 +98,29 @@ type CPUEngine struct {
 	FullResWarp bool
 	// Materialize controls whether normalized tensors are returned.
 	Materialize bool
-	// Workers parallelizes the batch across CPU cores (paper §4.2
-	// flags parallel acceleration of the CPU-bound path as future
-	// work). 0 or 1 keeps the single-threaded baseline the paper's
-	// PyTorch@BS1 numbers correspond to.
+	// Workers parallelizes the batch across a persistent worker pool
+	// (paper §4.2's parallel acceleration of the CPU-bound path). 0 or
+	// 1 keeps the single-threaded baseline the paper's PyTorch@BS1
+	// numbers correspond to.
 	Workers int
+	// Pool, when set, is the persistent worker pool used for parallel
+	// batches — share one across engines to bound total preprocessing
+	// CPU. When nil and Workers > 1, the engine lazily starts its own
+	// pool of Workers workers (released by Close).
+	Pool *Pool
+	// Tensors, when set, supplies output tensor buffers: callers that
+	// are done with a materialized tensor hand it back via Recycle and
+	// the next batch reuses the memory instead of allocating.
+	Tensors *imaging.TensorPool
+
+	poolOnce sync.Once
+	ownPool  *Pool
+	// discard recycles output buffers internally when Materialize is
+	// off (the tensor is produced, measured, and dropped).
+	discard imaging.TensorPool
+	// scratches recycles single-threaded scratch sets across
+	// concurrent ProcessBatch callers.
+	scratches sync.Pool
 }
 
 // Name returns the Fig. 7 label.
@@ -106,39 +134,126 @@ func (e *CPUEngine) Name() string {
 // OutRes returns the output resolution.
 func (e *CPUEngine) OutRes() int { return e.Out }
 
-// processOne runs the full CPU pipeline for one item.
-func (e *CPUEngine) processOne(it Item) ([]float32, error) {
-	im, err := decodeItem(it)
+// pool returns the engine's worker pool, lazily starting an owned one.
+func (e *CPUEngine) pool(workers int) *Pool {
+	if e.Pool != nil {
+		return e.Pool
+	}
+	e.poolOnce.Do(func() { e.ownPool = NewPool(workers) })
+	return e.ownPool
+}
+
+// Close releases the engine's owned worker pool, if one was started.
+// Call only after the last ProcessBatch has returned. A shared Pool
+// (the Pool field) is the caller's to close.
+func (e *CPUEngine) Close() {
+	e.poolOnce.Do(func() {}) // pin: no pool may start after Close
+	if e.ownPool != nil {
+		e.ownPool.Close()
+	}
+}
+
+// Recycle returns materialized tensors to the engine's tensor pool so
+// subsequent batches reuse their memory. Safe to call with tensors
+// from any source; a no-op when the engine has no Tensors pool.
+func (e *CPUEngine) Recycle(tensors [][]float32) {
+	if e.Tensors == nil {
+		return
+	}
+	for _, t := range tensors {
+		e.Tensors.Put(t)
+	}
+}
+
+// getTensor obtains an output buffer for one item.
+func (e *CPUEngine) getTensor(n int) []float32 {
+	if e.Tensors != nil {
+		return e.Tensors.Get(n)
+	}
+	if !e.Materialize {
+		return e.discard.Get(n)
+	}
+	return make([]float32, n)
+}
+
+func (e *CPUEngine) getScratch() *scratch {
+	if s, _ := e.scratches.Get().(*scratch); s != nil {
+		return s
+	}
+	return &scratch{}
+}
+
+// decodeInto resolves an item's pixels. Raw (PPM) frames are decoded
+// zero-copy — the pipeline only reads the source raster, so it can
+// alias the encoded payload directly. Compressed formats decode into
+// the reused scratch buffer.
+func decodeInto(it Item, s *scratch) (*imaging.Image, error) {
+	if it.Decoded != nil {
+		return it.Decoded, nil
+	}
+	if it.Encoded == nil {
+		return nil, fmt.Errorf("preprocess: item has neither decoded nor encoded pixels")
+	}
+	if it.Format == imaging.FormatPPM {
+		return imaging.DecodePPMZeroCopy(it.Encoded, &s.ppm)
+	}
+	im, err := imaging.DecodeBytesInto(it.Encoded, it.Format, s.decode)
+	if err != nil {
+		return nil, err
+	}
+	s.decode = im
+	return im, nil
+}
+
+// processItem runs the full CPU pipeline for one item into a tensor
+// obtained from alloc: decode (reusing s.decode), optional perspective
+// warp (reusing s.warp), then the fused resize+crop+normalize kernel.
+// The pixel arithmetic is identical to the historical
+// decode→warp→ResizeShortSide→CenterCrop→Normalize composition.
+func processItem(it Item, out int, fullResWarp bool, s *scratch, alloc func(int) []float32) ([]float32, error) {
+	im, err := decodeInto(it, s)
 	if err != nil {
 		return nil, err
 	}
 	if it.Task == datasets.TaskPerspective {
-		if e.FullResWarp {
-			hom, err := imaging.GroundCameraHomography(im.W, im.H, im.W, im.H)
-			if err != nil {
-				return nil, err
-			}
-			im = imaging.WarpPerspective(im, hom, im.W, im.H)
+		var ww, wh int
+		if fullResWarp {
+			ww, wh = im.W, im.H
 		} else {
-			work := 4 * e.Out
+			work := 4 * out
 			if work > im.W {
 				work = im.W
 			}
-			hom, err := imaging.GroundCameraHomography(im.W, im.H, work, work)
-			if err != nil {
-				return nil, err
-			}
-			im = imaging.WarpPerspective(im, hom, work, work)
+			ww, wh = work, work
 		}
+		hom, err := imaging.GroundCameraHomography(im.W, im.H, ww, wh)
+		if err != nil {
+			return nil, err
+		}
+		s.warp = imaging.ReuseImage(s.warp, ww, wh)
+		imaging.WarpPerspectiveInto(s.warp, im, hom)
+		im = s.warp
 	}
-	resized := imaging.ResizeShortSide(im, e.Out)
-	cropped := imaging.CenterCrop(resized, e.Out, e.Out)
-	return imaging.Normalize(cropped, imaging.ImageNetMean, imaging.ImageNetStd), nil
+	dst := alloc(imaging.FusedLen(im.W, im.H, out))
+	if _, _, err := s.kernel.ResizeCropNormalizeInto(dst, im, out, imaging.ImageNetMean, imaging.ImageNetStd); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
-// ProcessBatch really preprocesses every item on the CPU, across
-// Workers goroutines when configured.
-func (e *CPUEngine) ProcessBatch(items []Item) (Result, error) {
+// processInto runs one item with the engine's configuration.
+func (e *CPUEngine) processInto(it Item, s *scratch) ([]float32, error) {
+	return processItem(it, e.Out, e.FullResWarp, s, e.getTensor)
+}
+
+// ProcessEach really preprocesses every item, streaming each completed
+// tensor to fn as it finishes (in completion order, which under
+// Workers > 1 is not batch order) instead of holding results to a
+// batch barrier. The returned Result carries the timing but a nil
+// Tensors (delivery happened through fn). On an item error the rest of
+// the batch is cancelled and the error of the lowest-index failing
+// item is returned; fn may have been invoked for other items already.
+func (e *CPUEngine) ProcessEach(items []Item, fn func(i int, tensor []float32)) (Result, error) {
 	if len(items) == 0 {
 		return Result{}, fmt.Errorf("preprocess: empty batch")
 	}
@@ -146,49 +261,69 @@ func (e *CPUEngine) ProcessBatch(items []Item) (Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-	tensors := make([][]float32, len(items))
 	start := time.Now()
-	var err error
-	if workers == 1 {
+	hostCPU := 0.0
+	if workers == 1 || len(items) == 1 {
+		s := e.getScratch()
+		defer e.scratches.Put(s)
 		for i, it := range items {
-			tensors[i], err = e.processOne(it)
+			t0 := time.Now()
+			tensor, err := e.processInto(it, s)
 			if err != nil {
-				return Result{}, err
+				return Result{}, fmt.Errorf("preprocess: item %d: %w", i, err)
 			}
+			hostCPU += time.Since(t0).Seconds()
+			fn(i, tensor)
 		}
 	} else {
-		var wg sync.WaitGroup
-		errs := make([]error, workers)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < len(items); i += workers {
-					t, err := e.processOne(items[i])
-					if err != nil {
-						errs[w] = err
-						return
-					}
-					tensors[i] = t
-				}
-			}(w)
-		}
-		wg.Wait()
-		for _, werr := range errs {
-			if werr != nil {
-				return Result{}, werr
+		var cancelFrom atomic.Int64
+		cancelFrom.Store(math.MaxInt64)
+		var firstErr error
+		e.pool(workers).process(e, items, &cancelFrom, func(r itemResult) {
+			if r.skipped {
+				return
 			}
+			hostCPU += r.cpuSec
+			if r.err != nil {
+				// Lowest failing index wins; items below it are never
+				// skipped, so the winner is deterministic.
+				if int64(r.idx) < cancelFrom.Load() {
+					cancelFrom.Store(int64(r.idx))
+					firstErr = fmt.Errorf("preprocess: item %d: %w", r.idx, r.err)
+				}
+				return
+			}
+			fn(r.idx, r.tensor)
+		})
+		if firstErr != nil {
+			return Result{}, firstErr
 		}
 	}
-	host := time.Since(start).Seconds()
-	out := Result{Seconds: hw.ScaleCPUSeconds(e.Platform, host)}
+	return Result{
+		Seconds:     hw.ScaleCPUSeconds(e.Platform, hostCPU),
+		WallSeconds: time.Since(start).Seconds(),
+	}, nil
+}
+
+// ProcessBatch really preprocesses every item on the CPU, across the
+// persistent worker pool when Workers > 1.
+func (e *CPUEngine) ProcessBatch(items []Item) (Result, error) {
+	var tensors [][]float32
 	if e.Materialize {
-		out.Tensors = tensors
+		tensors = make([][]float32, len(items))
 	}
-	return out, nil
+	res, err := e.ProcessEach(items, func(i int, tensor []float32) {
+		if tensors != nil {
+			tensors[i] = tensor
+		} else if e.Tensors == nil {
+			e.discard.Put(tensor)
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Tensors = tensors
+	return res, nil
 }
 
 // NewCV2Engine returns the OpenCV-style engine the paper uses for the
@@ -206,6 +341,8 @@ type GPUEngine struct {
 	Platform    *hw.Platform
 	Out         int
 	Materialize bool
+
+	scratches sync.Pool
 }
 
 // Name returns the Fig. 7 label, e.g. "DALI 224".
@@ -229,18 +366,23 @@ func (e *GPUEngine) ProcessBatch(items []Item) (Result, error) {
 	}
 	res := Result{Seconds: hw.GPUPreprocBatchSeconds(e.Platform, inPixels, e.Out*e.Out)}
 	if e.Materialize {
+		s, _ := e.scratches.Get().(*scratch)
+		if s == nil {
+			s = &scratch{}
+		}
+		defer e.scratches.Put(s)
 		res.Tensors = make([][]float32, 0, len(items))
-		for _, it := range items {
-			im, err := decodeItem(it)
+		for i, it := range items {
+			// Same geometry as the CPU engine's default path, including
+			// the working-resolution perspective warp for CRSA ground
+			// camera items, so the same image yields the same tensor on
+			// either engine (DALI parity with the Torchvision path).
+			tensor, err := processItem(it, e.Out, false, s,
+				func(n int) []float32 { return make([]float32, n) })
 			if err != nil {
-				return Result{}, err
+				return Result{}, fmt.Errorf("preprocess: item %d: %w", i, err)
 			}
-			// Same geometry as the CPU engines: aspect-preserving resize
-			// plus center crop, so the same image yields the same tensor
-			// on either engine (DALI parity with the Torchvision path).
-			resized := imaging.ResizeShortSide(im, e.Out)
-			cropped := imaging.CenterCrop(resized, e.Out, e.Out)
-			res.Tensors = append(res.Tensors, imaging.Normalize(cropped, imaging.ImageNetMean, imaging.ImageNetStd))
+			res.Tensors = append(res.Tensors, tensor)
 		}
 	}
 	return res, nil

@@ -3,6 +3,7 @@ package preprocess
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"harvest/internal/datasets"
 	"harvest/internal/hw"
@@ -250,11 +251,13 @@ func TestCPUEngineWorkersProduceIdenticalTensors(t *testing.T) {
 }
 
 func TestCPUEngineWorkersSpeedUpWallClock(t *testing.T) {
-	// Use CRSA-free medium images so per-item work dominates goroutine
-	// overhead; compare wall-clock (Seconds scales with it).
+	// Use CRSA-free medium images so per-item work dominates scheduling
+	// overhead; workers shrink WallSeconds (what the caller waits),
+	// never the platform-modeled Seconds.
 	items := testItems(t, datasets.SlugPlantVillage, 8)
 	serial := &CPUEngine{Platform: hw.A100(), Out: 224}
 	parallel := &CPUEngine{Platform: hw.A100(), Out: 224, Workers: 4}
+	defer parallel.Close()
 	if _, err := serial.ProcessBatch(items); err != nil { // warm-up
 		t.Fatal(err)
 	}
@@ -266,17 +269,50 @@ func TestCPUEngineWorkersSpeedUpWallClock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if rs.WallSeconds <= 0 || rp.WallSeconds <= 0 {
+		t.Fatal("wall-clock not reported")
+	}
 	if raceEnabled || runtime.GOMAXPROCS(0) < 2 {
 		// Race instrumentation distorts goroutine timing, and a
 		// single-CPU host cannot show a speedup; only require that
 		// parallelism is not catastrophically slower.
-		if rp.Seconds > rs.Seconds*2 {
-			t.Errorf("4 workers (%.4fs) far slower than 1 (%.4fs)", rp.Seconds, rs.Seconds)
+		if rp.WallSeconds > rs.WallSeconds*2 {
+			t.Errorf("4 workers (%.4fs) far slower than 1 (%.4fs)", rp.WallSeconds, rs.WallSeconds)
 		}
 		return
 	}
-	if rp.Seconds >= rs.Seconds {
-		t.Errorf("4 workers (%.4fs) not faster than 1 (%.4fs)", rp.Seconds, rs.Seconds)
+	if rp.WallSeconds >= rs.WallSeconds {
+		t.Errorf("4 workers (%.4fs wall) not faster than 1 (%.4fs wall)", rp.WallSeconds, rs.WallSeconds)
+	}
+}
+
+// TestCPUEngineWorkersDoNotDeflateModeledSeconds pins the Seconds
+// semantics fix: the platform-modeled time is the sum of per-item CPU
+// work, so running the same batch with 4 workers must not report ~1/4
+// the modeled platform time the single-worker run reports. (The old
+// code scaled the parallel wall-clock through the single-thread core
+// model, silently deflating modeled platform cost by the worker count.)
+func TestCPUEngineWorkersDoNotDeflateModeledSeconds(t *testing.T) {
+	items := testItems(t, datasets.SlugPlantVillage, 8)
+	serial := &CPUEngine{Platform: hw.A100(), Out: 224}
+	parallel := &CPUEngine{Platform: hw.A100(), Out: 224, Workers: 4}
+	defer parallel.Close()
+	if _, err := serial.ProcessBatch(items); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	rs, err := serial.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate CPU work is worker-count independent up to host timing
+	// noise; a 4x deflation would put the parallel figure near 0.25x.
+	if rp.Seconds < rs.Seconds*0.5 {
+		t.Errorf("4-worker modeled Seconds %.4f deflated vs single-worker %.4f",
+			rp.Seconds, rs.Seconds)
 	}
 }
 
@@ -284,17 +320,179 @@ func TestCPUEngineWorkerErrorPropagates(t *testing.T) {
 	items := testItems(t, datasets.SlugFruits360, 3)
 	items = append(items, Item{Encoded: []byte("corrupt"), Format: imaging.FormatJPEG})
 	e := &CPUEngine{Platform: hw.A100(), Out: 32, Workers: 4}
+	defer e.Close()
 	if _, err := e.ProcessBatch(items); err == nil {
 		t.Error("corrupt item in parallel batch accepted")
 	}
 }
 
-// TestCPUGPUTensorParity pins the regression where the GPU engine used
-// an aspect-distorting resize: for non-perspective items both engines
-// must produce bit-identical tensors (resize-short-side, center crop,
-// ImageNet normalize).
+// TestCPUEngineWorkerErrorDeterministic pins both halves of the
+// cancellation fix: with several failing items scattered through a
+// batch, the parallel path must always report the lowest-index failure
+// (not whichever worker lost the race), and it must match the serial
+// path's error.
+func TestCPUEngineWorkerErrorDeterministic(t *testing.T) {
+	good := testItems(t, datasets.SlugFruits360, 2)
+	bad := Item{Encoded: []byte("corrupt"), Format: imaging.FormatJPEG}
+	// Failures at 1, 4, 5 among 6 items; index 1 must always win.
+	items := []Item{good[0], bad, good[1], good[0], bad, bad}
+	serial := &CPUEngine{Platform: hw.A100(), Out: 32}
+	_, wantErr := serial.ProcessBatch(items)
+	if wantErr == nil {
+		t.Fatal("serial run accepted corrupt batch")
+	}
+	e := &CPUEngine{Platform: hw.A100(), Out: 32, Workers: 4}
+	defer e.Close()
+	for trial := 0; trial < 10; trial++ {
+		_, err := e.ProcessBatch(items)
+		if err == nil {
+			t.Fatal("parallel run accepted corrupt batch")
+		}
+		if err.Error() != wantErr.Error() {
+			t.Fatalf("trial %d: parallel error %q, serial error %q", trial, err, wantErr)
+		}
+	}
+}
+
+// TestCPUEngineWorkerErrorCancelsBatch checks that the first error
+// actually stops the remaining items instead of letting siblings run
+// the batch to completion: with the failure at index 0 of a large
+// batch, most trailing items should be skipped, so the parallel run
+// must complete far faster than full processing would.
+func TestCPUEngineWorkerErrorCancelsBatch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing-sensitive; race instrumentation distorts it")
+	}
+	good := testItems(t, datasets.SlugPlantVillage, 1)[0]
+	items := make([]Item, 64)
+	items[0] = Item{Encoded: []byte("corrupt"), Format: imaging.FormatJPEG}
+	for i := 1; i < len(items); i++ {
+		items[i] = good
+	}
+	full := &CPUEngine{Platform: hw.A100(), Out: 224, Workers: 2}
+	defer full.Close()
+	allGood := make([]Item, len(items))
+	for i := range allGood {
+		allGood[i] = good
+	}
+	rFull, err := full.ProcessBatch(allGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cancelled run skips nearly all real work; require a large
+	// margin so scheduler noise cannot flake the assertion.
+	start := time.Now()
+	if _, err := full.ProcessBatch(items); err == nil {
+		t.Fatal("corrupt batch accepted")
+	}
+	cancelled := time.Since(start).Seconds()
+	if cancelled > rFull.WallSeconds*0.5 {
+		t.Errorf("cancelled batch took %.4fs, full batch %.4fs — cancellation not effective",
+			cancelled, rFull.WallSeconds)
+	}
+}
+
+// TestProcessEachStreams checks the streaming contract: every index is
+// delivered exactly once with a correctly shaped tensor, with no batch
+// barrier required of the caller.
+func TestProcessEachStreams(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 5)
+	e := &CPUEngine{Platform: hw.A100(), Out: 32, Materialize: true, Workers: 3}
+	defer e.Close()
+	seen := make([]int, len(items))
+	res, err := e.ProcessEach(items, func(i int, tensor []float32) {
+		seen[i]++
+		if len(tensor) != 3*32*32 {
+			t.Errorf("item %d: tensor length %d", i, len(tensor))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tensors != nil {
+		t.Error("ProcessEach returned batch tensors")
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("item %d delivered %d times", i, n)
+		}
+	}
+}
+
+// TestSharedPoolAcrossEngines runs two engines over one shared Pool —
+// the serving-layer configuration, where total preprocessing CPU is
+// bounded globally rather than per model.
+func TestSharedPoolAcrossEngines(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	items := testItems(t, datasets.SlugFruits360, 4)
+	a := &CPUEngine{Platform: hw.A100(), Out: 32, Materialize: true, Workers: 3, Pool: pool}
+	b := &CPUEngine{Platform: hw.Jetson(), Out: 48, Materialize: true, Workers: 3, Pool: pool}
+	ra, err := a.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Tensors) != 4 || len(rb.Tensors) != 4 {
+		t.Fatal("shared-pool batches incomplete")
+	}
+	if len(ra.Tensors[0]) != 3*32*32 || len(rb.Tensors[0]) != 3*48*48 {
+		t.Error("engines over a shared pool produced wrong shapes")
+	}
+	if pool.Workers() != 3 {
+		t.Errorf("pool workers %d", pool.Workers())
+	}
+}
+
+// TestPoolCloseIdempotent pins the Close contract.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+	e := &CPUEngine{Platform: hw.A100(), Out: 32}
+	e.Close() // engine that never started a pool
+	e.Close()
+}
+
+// TestTensorRecycling exercises the caller-recycled tensor path: with
+// a Tensors pool attached and tensors handed back between batches, the
+// output buffers are reused.
+func TestTensorRecycling(t *testing.T) {
+	items := testItems(t, datasets.SlugFruits360, 3)
+	e := &CPUEngine{Platform: hw.A100(), Out: 32, Materialize: true,
+		Tensors: &imaging.TensorPool{}}
+	r1, err := e.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float32(nil), r1.Tensors[0]...)
+	e.Recycle(r1.Tensors)
+	r2, err := e.ProcessBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range want {
+		if r2.Tensors[0][i] != v {
+			t.Fatalf("recycled batch diverges at %d", i)
+		}
+	}
+	e.Recycle(r2.Tensors)
+}
+
+// TestCPUGPUTensorParity pins two regressions: the GPU engine once
+// used an aspect-distorting resize, and later ignored the perspective
+// rectification for TaskPerspective (ground-camera) items entirely —
+// so a deployment moving the CRSA feed from the CPU engine to DALI
+// silently changed every tensor. Both engines must now produce
+// bit-identical tensors for plain and perspective items alike.
 func TestCPUGPUTensorParity(t *testing.T) {
 	items := testItems(t, datasets.SlugFruits360, 3)
+	ground := imaging.Synthesize(400, 300, imaging.KindSoil, stats.NewRNG(7))
+	items = append(items, Item{Decoded: ground, W: ground.W, H: ground.H,
+		Task: datasets.TaskPerspective})
 	cpu := &CPUEngine{Platform: hw.A100(), Out: 48, Materialize: true}
 	gpu := &GPUEngine{Platform: hw.A100(), Out: 48, Materialize: true}
 	rc, err := cpu.ProcessBatch(items)

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"harvest/internal/imaging"
 	"harvest/internal/metrics"
 	"harvest/internal/trace"
 )
@@ -55,6 +56,14 @@ type InferRequestJSON struct {
 	// Inputs optionally carries flattened CHW tensors for real-compute
 	// models.
 	Inputs [][]float32 `json:"inputs,omitempty"`
+	// Images carries base64-encoded image payloads (JSON's []byte
+	// encoding), one per item, for models with a preprocessing engine:
+	// the server decodes, resizes and normalizes them into tensors.
+	// Exclusive with Inputs.
+	Images [][]byte `json:"images_b64,omitempty"`
+	// ImageFormat names the encoding of Images: "jpeg" (default) or
+	// "ppm".
+	ImageFormat string `json:"image_format,omitempty"`
 	// Class selects the scenario lane: "realtime", "online" (default)
 	// or "offline" (paper §2.2 deployment scenarios).
 	Class string `json:"class,omitempty"`
@@ -69,8 +78,12 @@ type InferRequestJSON struct {
 // request, in milliseconds: where the time went between submission and
 // response.
 type TimingsJSON struct {
-	// AdmitMs is admission control: request receipt to lane enqueue.
+	// AdmitMs is admission control: request receipt to the
+	// admission-slot reservation.
 	AdmitMs float64 `json:"admit_ms"`
+	// PreprocessMs is the encoded-image preprocess stage: decode, warp,
+	// resize, normalize. Zero on the tensor and items-only paths.
+	PreprocessMs float64 `json:"preprocess_ms"`
 	// QueueMs is the lane wait: enqueue to batcher pickup.
 	QueueMs float64 `json:"queue_ms"`
 	// BatchAssemblyMs is the dynamic-batching window: pickup to the
@@ -84,15 +97,15 @@ type TimingsJSON struct {
 
 // InferResponseJSON is the response body.
 type InferResponseJSON struct {
-	ID             string      `json:"id,omitempty"`
-	Model          string      `json:"model"`
-	Items          int         `json:"items"`
-	BatchSize      int         `json:"batch_size"`
-	QueueMs        float64     `json:"queue_ms"`
-	ComputeMs      float64     `json:"compute_ms"`
+	ID             string       `json:"id,omitempty"`
+	Model          string       `json:"model"`
+	Items          int          `json:"items"`
+	BatchSize      int          `json:"batch_size"`
+	QueueMs        float64      `json:"queue_ms"`
+	ComputeMs      float64      `json:"compute_ms"`
 	Timings        *TimingsJSON `json:"timings_ms,omitempty"`
-	Outputs        [][]float32 `json:"outputs,omitempty"`
-	Classification []int       `json:"classification,omitempty"`
+	Outputs        [][]float32  `json:"outputs,omitempty"`
+	Classification []int        `json:"classification,omitempty"`
 }
 
 // ModelListJSON is the response of GET /v2/models.
@@ -162,10 +175,10 @@ func histFromJSON(j LatencySummaryJSON) (metrics.HistogramSnapshot, bool) {
 		return metrics.HistogramSnapshot{}, false
 	}
 	h := metrics.HistogramSnapshot{
-		Sum:     j.SumMs / 1000,
-		Min:     j.MinMs / 1000,
-		Max:     j.MaxMs / 1000,
-		Counts:  append([]uint64(nil), j.Buckets...),
+		Sum:    j.SumMs / 1000,
+		Min:    j.MinMs / 1000,
+		Max:    j.MaxMs / 1000,
+		Counts: append([]uint64(nil), j.Buckets...),
 	}
 	for _, c := range h.Counts {
 		h.Count += c
@@ -190,6 +203,9 @@ type ModelMetricsJSON struct {
 	QueueDepth int64              `json:"queue_depth"`
 	QueueMs    LatencySummaryJSON `json:"queue_ms"`
 	ComputeMs  LatencySummaryJSON `json:"compute_ms"`
+	// PreprocessMs summarizes the encoded-image preprocess stage
+	// (count 0 for models never hit through that path).
+	PreprocessMs LatencySummaryJSON `json:"preprocess_ms"`
 	// QueueMsByClass decomposes queue latency per SLO class, keyed by
 	// class name, for classes that served requests.
 	QueueMsByClass map[string]LatencySummaryJSON `json:"queue_ms_by_class,omitempty"`
@@ -207,14 +223,20 @@ type errorJSON struct {
 
 // inferBodyLimit caps the infer request body: a fixed overhead plus
 // room for MaxBatch JSON-encoded input tensors when the model takes
-// real tensor inputs (~16 bytes per float32 in decimal text).
+// real tensor inputs (~16 bytes per float32 in decimal text), plus
+// room for MaxBatch base64-encoded images (4/3 expansion over
+// MaxImageBytes) when the model has a preprocessing engine.
 func inferBodyLimit(cfg ModelConfig) int64 {
 	const overhead = 1 << 20
-	if cfg.InputSize <= 0 {
-		return overhead
+	limit := int64(overhead)
+	if cfg.InputSize > 0 {
+		perImage := int64(3*cfg.InputSize*cfg.InputSize) * 16
+		limit += int64(cfg.MaxBatch) * perImage
 	}
-	perImage := int64(3*cfg.InputSize*cfg.InputSize) * 16
-	return overhead + int64(cfg.MaxBatch)*perImage
+	if cfg.Preproc != nil {
+		limit += int64(cfg.MaxBatch) * (cfg.MaxImageBytes*4/3 + 4)
+	}
+	return limit
 }
 
 // retryAfterSeconds estimates how long an overloaded model needs to
@@ -328,10 +350,16 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 			return
 		}
+		format, err := imaging.ParseFormat(body.ImageFormat)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+			return
+		}
 		id := requestID(body.ID, r)
 		w.Header().Set(RequestIDHeader, id)
 		req := &Request{
 			ID: id, Model: name, Items: body.Items, Inputs: body.Inputs,
+			Images: body.Images, ImageFormat: format,
 			Class: class,
 		}
 		if body.DeadlineMs > 0 {
@@ -344,8 +372,12 @@ func (s *Server) Handler() http.Handler {
 			case errors.Is(err, ErrUnknownModel):
 				status = http.StatusNotFound
 			case errors.Is(err, ErrEmptyRequest), errors.Is(err, ErrTooManyItems),
-				errors.Is(err, ErrItemsMismatch), errors.Is(err, ErrBadClass):
+				errors.Is(err, ErrItemsMismatch), errors.Is(err, ErrBadClass),
+				errors.Is(err, ErrNoPreprocessor), errors.Is(err, ErrMixedInputs),
+				errors.Is(err, ErrPreprocess):
 				status = http.StatusBadRequest
+			case errors.Is(err, ErrImageTooLarge):
+				status = http.StatusRequestEntityTooLarge
 			case errors.Is(err, ErrOverloaded):
 				status = http.StatusTooManyRequests
 				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(name)))
@@ -366,6 +398,7 @@ func (s *Server) Handler() http.Handler {
 			ComputeMs: resp.ComputeSeconds * 1000,
 			Timings: &TimingsJSON{
 				AdmitMs:         resp.AdmitSeconds * 1000,
+				PreprocessMs:    resp.PreprocessSeconds * 1000,
 				QueueMs:         resp.LaneSeconds * 1000,
 				BatchAssemblyMs: resp.AssembleSeconds * 1000,
 				ComputeMs:       resp.ComputeSeconds * 1000,
@@ -426,6 +459,12 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 	for _, m := range ms {
 		pw.Hist("harvest_compute_latency_seconds", metrics.PromLabel("model", m.Model), m.ComputeHist)
 	}
+	pw.Head("harvest_preprocess_latency_seconds", "histogram", "Encoded-image preprocess stage duration per request.")
+	for _, m := range ms {
+		if m.PreprocessHist.Count > 0 {
+			pw.Hist("harvest_preprocess_latency_seconds", metrics.PromLabel("model", m.Model), m.PreprocessHist)
+		}
+	}
 	pw.Head("harvest_class_queue_latency_seconds", "histogram", "Queue latency per SLO class.")
 	for _, m := range ms {
 		for _, class := range classKeysSorted(m.ClassQueueHist) {
@@ -453,17 +492,18 @@ func classKeysSorted(m map[string]metrics.HistogramSnapshot) []string {
 
 func metricsToJSON(m ModelMetrics) ModelMetricsJSON {
 	out := ModelMetricsJSON{
-		Model:      m.Model,
-		Requests:   m.Requests,
-		Items:      m.Items,
-		Batches:    m.Batches,
-		Errors:     m.Errors,
-		Cancelled:  m.Cancelled,
-		Shed:       m.Shed,
-		Expired:    m.Expired,
-		QueueDepth: m.QueueDepth,
-		QueueMs:    histToJSON(m.QueueHist),
-		ComputeMs:  histToJSON(m.ComputeHist),
+		Model:        m.Model,
+		Requests:     m.Requests,
+		Items:        m.Items,
+		Batches:      m.Batches,
+		Errors:       m.Errors,
+		Cancelled:    m.Cancelled,
+		Shed:         m.Shed,
+		Expired:      m.Expired,
+		QueueDepth:   m.QueueDepth,
+		QueueMs:      histToJSON(m.QueueHist),
+		ComputeMs:    histToJSON(m.ComputeHist),
+		PreprocessMs: histToJSON(m.PreprocessHist),
 	}
 	for class, h := range m.ClassQueueHist {
 		if out.QueueMsByClass == nil {

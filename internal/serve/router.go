@@ -28,15 +28,21 @@ import (
 // request could not be placed.
 var ErrNoReplicas = errors.New("serve: no replica available")
 
-// routerBodyLimit caps an infer body at the router. The router does
-// not know per-model tensor shapes; replicas enforce the precise
-// per-model cap, this only bounds memory per connection.
+// routerBodyLimit caps an infer body at the router when
+// RouterConfig.MaxBodyBytes is zero. The router does not know
+// per-model tensor shapes; replicas enforce the precise per-model cap,
+// this only bounds memory per connection.
 const routerBodyLimit = 64 << 20
 
 // RouterConfig configures a replica-pool router.
 type RouterConfig struct {
 	// Pool configures health checking and ejection.
 	Pool PoolConfig
+	// MaxBodyBytes caps an infer request body at the router. Raise it
+	// for encoded-image (images_b64) workloads whose frames exceed the
+	// default — e.g. batches of uncompressed 4K ground-camera frames.
+	// 0 means routerBodyLimit (64 MiB); negative disables the cap.
+	MaxBodyBytes int64
 	// MaxAttempts bounds how many replicas one request may try before
 	// failing. 0 means every replica once.
 	MaxAttempts int
@@ -81,6 +87,9 @@ type Router struct {
 func NewRouter(urls []string, cfg RouterConfig) (*Router, error) {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = len(urls)
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = routerBodyLimit
 	}
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
@@ -360,6 +369,7 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 			agg.QueueDepth += mm.QueueDepth
 			agg.QueueMs = mergeLatency(agg.QueueMs, mm.QueueMs)
 			agg.ComputeMs = mergeLatency(agg.ComputeMs, mm.ComputeMs)
+			agg.PreprocessMs = mergeLatency(agg.PreprocessMs, mm.PreprocessMs)
 			for class, sum := range mm.QueueMsByClass {
 				if agg.QueueMsByClass == nil {
 					agg.QueueMsByClass = map[string]LatencySummaryJSON{}
@@ -531,9 +541,17 @@ func (r *Router) Handler() http.Handler {
 			writeJSON(w, http.StatusNotFound, errorJSON{Error: "not found"})
 			return
 		}
-		req.Body = http.MaxBytesReader(w, req.Body, routerBodyLimit)
+		if r.cfg.MaxBodyBytes > 0 {
+			req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
+		}
 		var body InferRequestJSON
 		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorJSON{Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+				return
+			}
 			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
 			return
 		}
@@ -609,6 +627,12 @@ func (r *Router) writeProm(w http.ResponseWriter, ctx context.Context) {
 	for _, m := range agg.Models {
 		if h, ok := histFromJSON(m.ComputeMs); ok {
 			pw.Hist("harvest_compute_latency_seconds", metrics.PromLabel("model", m.Model), h)
+		}
+	}
+	pw.Head("harvest_preprocess_latency_seconds", "histogram", "Fleet-wide preprocess latency, merged across replicas.")
+	for _, m := range agg.Models {
+		if h, ok := histFromJSON(m.PreprocessMs); ok && h.Count > 0 {
+			pw.Hist("harvest_preprocess_latency_seconds", metrics.PromLabel("model", m.Model), h)
 		}
 	}
 	if r.trace != nil {

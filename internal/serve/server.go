@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"harvest/internal/engine"
+	"harvest/internal/imaging"
 	"harvest/internal/metrics"
+	"harvest/internal/preprocess"
 	"harvest/internal/stats"
 	"harvest/internal/trace"
 )
@@ -41,6 +43,18 @@ var (
 	ErrDeadlineExpired = errors.New("serve: deadline expired before execution")
 	// ErrBadClass rejects a request with an out-of-range SLO class.
 	ErrBadClass = errors.New("serve: invalid SLO class")
+	// ErrNoPreprocessor rejects an encoded-image request on a model
+	// registered without a preprocessing engine.
+	ErrNoPreprocessor = errors.New("serve: model accepts no encoded images")
+	// ErrMixedInputs rejects a request carrying both ready tensors and
+	// encoded images.
+	ErrMixedInputs = errors.New("serve: request has both tensors and encoded images")
+	// ErrPreprocess reports a failed preprocessing stage (undecodable
+	// image bytes): the caller's payload is at fault.
+	ErrPreprocess = errors.New("serve: preprocess failed")
+	// ErrImageTooLarge rejects an encoded image above the model's
+	// MaxImageBytes.
+	ErrImageTooLarge = errors.New("serve: encoded image too large")
 )
 
 // DefaultDrainTimeout bounds Close's graceful drain when
@@ -55,6 +69,12 @@ const DefaultMaxQueueDepth = 1024
 // requests that carry no explicit deadline: the paper's Fig. 6 SLO of
 // 16.7 ms, one frame at the 60 QPS real-time threshold.
 const DefaultRealtimeBudget = 16700 * time.Microsecond
+
+// DefaultMaxImageBytes caps one encoded image on the /v2 infer path
+// when ModelConfig.MaxImageBytes is zero: 32 MiB covers an
+// uncompressed 4K PPM frame (the CRSA ground camera, the largest
+// source in the paper's datasets) with headroom.
+const DefaultMaxImageBytes = 32 << 20
 
 // Class is a request's SLO class, mapping to the paper's §2.2
 // deployment scenarios. The zero value is ClassOnline.
@@ -107,12 +127,20 @@ func ParseClass(s string) (Class, error) {
 // Request is one inference request from the frontend. Items counts the
 // images in the request; Inputs optionally carries real tensors for
 // models with a real compute backend. When both are set they must
-// agree: Items == len(Inputs).
+// agree: Items == len(Inputs). Alternatively Images carries encoded
+// image bytes for models with a preprocessing engine — the server
+// decodes, resizes and normalizes them into Inputs before batching
+// (exclusive with Inputs).
 type Request struct {
 	ID     string
 	Model  string
 	Items  int
 	Inputs [][]float32
+	// Images holds encoded image payloads (one per item) for the
+	// preprocessing path.
+	Images [][]byte
+	// ImageFormat is the encoding of every entry in Images.
+	ImageFormat imaging.Format
 	// Class selects the scenario lane (default ClassOnline). Realtime
 	// requests are batched ahead of online ones, which are batched
 	// ahead of offline ones.
@@ -130,8 +158,12 @@ type Response struct {
 	Model string
 	Items int
 	// AdmitSeconds is wall time spent in admission control, from Submit
-	// entry to the enqueue into the class lane.
+	// entry to the admission-slot reservation.
 	AdmitSeconds float64
+	// PreprocessSeconds is wall time spent decoding and preprocessing
+	// the request's encoded images into tensors; zero on the tensor and
+	// items-only paths.
+	PreprocessSeconds float64
 	// QueueSeconds is real wall time spent in the dynamic batcher,
 	// measured from enqueue to the batch's execution start. It is the
 	// sum of the lane wait (LaneSeconds) and the batch-assembly window
@@ -194,6 +226,16 @@ type ModelConfig struct {
 	// Trace, when non-nil, receives one span per executed batch
 	// (wall-clock, track = model name) with queue/batch metadata.
 	Trace *trace.Recorder
+	// Preproc, when non-nil, enables the encoded-image path: requests
+	// carrying Images are decoded/resized/normalized by this engine
+	// (which must materialize tensors) between admission and lane
+	// enqueue. Must be safe for concurrent ProcessBatch calls — a
+	// preprocess.CPUEngine, typically over a shared worker pool. For
+	// models with a real backend its OutRes must equal InputSize.
+	Preproc preprocess.Engine
+	// MaxImageBytes caps one encoded image on the Images path. 0 means
+	// DefaultMaxImageBytes.
+	MaxImageBytes int64
 }
 
 // Lifecycle states of a pending request. The submitter and the batcher
@@ -212,7 +254,11 @@ type pending struct {
 	class    Class
 	deadline time.Time // zero = none
 	submitAt time.Time // Submit entry (admit stage start)
-	enqueued time.Time
+	admitted time.Time // admission-slot reservation (preprocess stage start)
+	// preprocSec is the wall time the preprocess stage took; zero when
+	// the request carried no encoded images.
+	preprocSec float64
+	enqueued   time.Time
 	// recvAt is the batcher pickup time, stamped only by the batcher
 	// goroutine (stampRecv); the send on the batches channel orders it
 	// before any instance read.
@@ -245,6 +291,9 @@ type modelMetrics struct {
 	expired    metrics.Counter // admitted requests evicted past their deadline
 	queueLat   metrics.LatencyRecorder
 	computeLat metrics.LatencyRecorder
+	// preprocLat observes the encoded-image preprocess stage (wall
+	// seconds per request).
+	preprocLat metrics.LatencyRecorder
 	// classQueueLat decomposes queue latency per SLO class.
 	classQueueLat [numClasses]metrics.LatencyRecorder
 }
@@ -265,6 +314,9 @@ type ModelMetrics struct {
 	QueueDepth     int64
 	QueueLatency   stats.Summary
 	ComputeLatency stats.Summary
+	// PreprocessLatency summarizes the encoded-image preprocess stage
+	// (zero-count for models never hit through that path).
+	PreprocessLatency stats.Summary
 	// ClassQueueLatency holds the queue-latency summary per SLO class
 	// (keyed by Class.String()) for classes with observations.
 	ClassQueueLatency map[string]stats.Summary
@@ -272,8 +324,9 @@ type ModelMetrics struct {
 	// summaries above were computed from, in the shared bucket layout —
 	// what /v2/metrics ships so the router can merge distributions
 	// exactly.
-	QueueHist   metrics.HistogramSnapshot
-	ComputeHist metrics.HistogramSnapshot
+	QueueHist      metrics.HistogramSnapshot
+	ComputeHist    metrics.HistogramSnapshot
+	PreprocessHist metrics.HistogramSnapshot
 	// ClassQueueHist holds the per-class queue histograms (same keys as
 	// ClassQueueLatency).
 	ClassQueueHist map[string]metrics.HistogramSnapshot
@@ -361,6 +414,14 @@ func (s *Server) Register(cfg ModelConfig) error {
 	}
 	if cfg.RealtimeBudget == 0 {
 		cfg.RealtimeBudget = DefaultRealtimeBudget
+	}
+	if cfg.MaxImageBytes <= 0 {
+		cfg.MaxImageBytes = DefaultMaxImageBytes
+	}
+	if cfg.Preproc != nil && cfg.Engine.Real != nil && cfg.InputSize > 0 &&
+		cfg.Preproc.OutRes() != cfg.InputSize {
+		return fmt.Errorf("serve: model %s: preprocessor output %d does not match input size %d",
+			cfg.Name, cfg.Preproc.OutRes(), cfg.InputSize)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -794,7 +855,10 @@ func (rt *modelRuntime) recordRequestSpans(p *pending, execStart, execEnd time.T
 			Args: map[string]any{"model": rt.cfg.Name, "class": p.class.String()},
 		})
 	}
-	add("admit", p.submitAt, p.enqueued)
+	add("admit", p.submitAt, p.admitted)
+	if p.preprocSec > 0 {
+		add("preprocess", p.admitted, p.enqueued)
+	}
 	add("queue", p.enqueued, p.recvAt)
 	add("batch-assembly", p.recvAt, execStart)
 	rt.cfg.Trace.Add(trace.Span{
@@ -872,15 +936,16 @@ func (rt *modelRuntime) runBatch(batch []*pending, track string) {
 			queueSec = 0
 		}
 		resp := &Response{
-			ID:              p.req.ID,
-			Model:           rt.cfg.Name,
-			Items:           p.req.Items,
-			AdmitSeconds:    stageDur(p.submitAt, p.enqueued),
-			QueueSeconds:    queueSec,
-			LaneSeconds:     stageDur(p.enqueued, p.recvAt),
-			AssembleSeconds: stageDur(p.recvAt, execStart),
-			ComputeSeconds:  computeSec,
-			BatchSize:       items,
+			ID:                p.req.ID,
+			Model:             rt.cfg.Name,
+			Items:             p.req.Items,
+			AdmitSeconds:      stageDur(p.submitAt, p.admitted),
+			PreprocessSeconds: p.preprocSec,
+			QueueSeconds:      queueSec,
+			LaneSeconds:       stageDur(p.enqueued, p.recvAt),
+			AssembleSeconds:   stageDur(p.recvAt, execStart),
+			ComputeSeconds:    computeSec,
+			BatchSize:         items,
 		}
 		if outputs != nil && len(p.req.Inputs) > 0 {
 			resp.Outputs = outputs[outOff : outOff+len(p.req.Inputs)]
@@ -922,14 +987,22 @@ func (rt *modelRuntime) resolveDeadline(ctx context.Context, req *Request) time.
 // ErrDeadlineExpired.
 func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	submitAt := time.Now()
-	if req.Items <= 0 && len(req.Inputs) == 0 {
+	if req.Items <= 0 && len(req.Inputs) == 0 && len(req.Images) == 0 {
 		return nil, ErrEmptyRequest
 	}
+	if len(req.Inputs) > 0 && len(req.Images) > 0 {
+		return nil, fmt.Errorf("%w: inputs=%d, images=%d", ErrMixedInputs, len(req.Inputs), len(req.Images))
+	}
 	if req.Items == 0 {
-		req.Items = len(req.Inputs)
+		if req.Items = len(req.Inputs); req.Items == 0 {
+			req.Items = len(req.Images)
+		}
 	}
 	if len(req.Inputs) > 0 && req.Items != len(req.Inputs) {
 		return nil, fmt.Errorf("%w: items=%d, inputs=%d", ErrItemsMismatch, req.Items, len(req.Inputs))
+	}
+	if len(req.Images) > 0 && req.Items != len(req.Images) {
+		return nil, fmt.Errorf("%w: items=%d, images=%d", ErrItemsMismatch, req.Items, len(req.Images))
 	}
 	if req.Class < 0 || req.Class >= numClasses {
 		return nil, fmt.Errorf("%w: %d", ErrBadClass, int(req.Class))
@@ -946,6 +1019,17 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	}
 	if req.Items > rt.cfg.MaxBatch {
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyItems, req.Items, rt.cfg.MaxBatch)
+	}
+	if len(req.Images) > 0 {
+		if rt.cfg.Preproc == nil {
+			return nil, fmt.Errorf("%w: model %s", ErrNoPreprocessor, rt.cfg.Name)
+		}
+		for i, img := range req.Images {
+			if int64(len(img)) > rt.cfg.MaxImageBytes {
+				return nil, fmt.Errorf("%w: image %d is %d bytes, limit %d",
+					ErrImageTooLarge, i, len(img), rt.cfg.MaxImageBytes)
+			}
+		}
 	}
 	select {
 	case <-rt.closing:
@@ -965,14 +1049,41 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		rt.met.shed.Inc()
 		return nil, fmt.Errorf("%w: model %s, queue depth %d", ErrOverloaded, rt.cfg.Name, rt.cfg.MaxQueueDepth)
 	}
+	admitted := time.Now()
+	preprocSec := 0.0
+	if len(req.Images) > 0 {
+		// The preprocess stage runs on the submitter's goroutine between
+		// admission and lane enqueue: admission control bounds how many
+		// requests can be decoding at once, and the engine's worker pool
+		// bounds the CPU they use. The resulting tensors ride the normal
+		// tensor path from here on.
+		items := make([]preprocess.Item, len(req.Images))
+		for i, img := range req.Images {
+			items[i] = preprocess.Item{Encoded: img, Format: req.ImageFormat}
+		}
+		res, err := rt.cfg.Preproc.ProcessBatch(items)
+		if err == nil && len(res.Tensors) != len(items) {
+			err = fmt.Errorf("preprocessor %s returned no tensors", rt.cfg.Preproc.Name())
+		}
+		if err != nil {
+			rt.inflight.Add(-1)
+			rt.met.errors.Inc()
+			return nil, fmt.Errorf("%w: model %s: %v", ErrPreprocess, rt.cfg.Name, err)
+		}
+		req.Inputs = res.Tensors
+		preprocSec = time.Since(admitted).Seconds()
+		rt.met.preprocLat.Observe(preprocSec)
+	}
 	p := &pending{
-		req:      req,
-		class:    req.Class,
-		deadline: deadline,
-		submitAt: submitAt,
-		enqueued: time.Now(),
-		done:     make(chan *Response, 1),
-		err:      make(chan error, 1),
+		req:        req,
+		class:      req.Class,
+		deadline:   deadline,
+		submitAt:   submitAt,
+		admitted:   admitted,
+		preprocSec: preprocSec,
+		enqueued:   time.Now(),
+		done:       make(chan *Response, 1),
+		err:        make(chan error, 1),
 	}
 	select {
 	case rt.queues[req.Class] <- p:
@@ -1093,20 +1204,23 @@ func (s *Server) Metrics() []ModelMetrics {
 func (rt *modelRuntime) snapshot() ModelMetrics {
 	qh := rt.met.queueLat.Snapshot()
 	ch := rt.met.computeLat.Snapshot()
+	ph := rt.met.preprocLat.Snapshot()
 	m := ModelMetrics{
-		Model:          rt.cfg.Name,
-		Requests:       rt.met.requests.Load(),
-		Items:          rt.met.items.Load(),
-		Batches:        rt.met.batches.Load(),
-		Errors:         rt.met.errors.Load(),
-		Cancelled:      rt.met.cancelled.Load(),
-		Shed:           rt.met.shed.Load(),
-		Expired:        rt.met.expired.Load(),
-		QueueDepth:     rt.inflight.Load(),
-		QueueLatency:   qh.Summary(),
-		ComputeLatency: ch.Summary(),
-		QueueHist:      qh,
-		ComputeHist:    ch,
+		Model:             rt.cfg.Name,
+		Requests:          rt.met.requests.Load(),
+		Items:             rt.met.items.Load(),
+		Batches:           rt.met.batches.Load(),
+		Errors:            rt.met.errors.Load(),
+		Cancelled:         rt.met.cancelled.Load(),
+		Shed:              rt.met.shed.Load(),
+		Expired:           rt.met.expired.Load(),
+		QueueDepth:        rt.inflight.Load(),
+		QueueLatency:      qh.Summary(),
+		ComputeLatency:    ch.Summary(),
+		PreprocessLatency: ph.Summary(),
+		QueueHist:         qh,
+		ComputeHist:       ch,
+		PreprocessHist:    ph,
 	}
 	for c := Class(0); c < numClasses; c++ {
 		h := rt.met.classQueueLat[c].Snapshot()
