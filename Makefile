@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-preproc
+.PHONY: all build test race vet check bench bench-preproc bench-load
 
 all: check
 
@@ -15,10 +15,10 @@ vet:
 
 # Race-check the concurrency-heavy packages (serving path incl. the
 # replica-pool router, the lock-free metrics recorders, the trace ring
-# buffer, pipeline, the live sim-vs-real validation, and the pooled
-# preprocessing engines).
+# buffer, pipeline, the live sim-vs-real validation, the pooled
+# preprocessing engines, and the load harness).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/...
+	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/... ./internal/loadgen/...
 
 # The CI gate: tier-1 tests plus vet and the race suite.
 check: build vet test race
@@ -30,3 +30,17 @@ bench:
 # buffers, throughput vs worker count on a 4K raw frame.
 bench-preproc:
 	$(GO) test ./internal/preprocess/ -run NONE -bench BenchmarkPreprocess -benchmem
+
+# Seeded ramp-to-failure sweep: self-hosts a 2-replica Jetson router
+# serving ViT_Base at full modeled latency and ramps the open-loop
+# classes from a healthy base rate (~50 req/s) to ~12x — past the
+# fleet's ~375 req/s capacity — emitting BENCH_PR6.json (per-class
+# throughput, service and intended-start percentiles, SLO attainment,
+# 429/504 counts). Deterministic arrival schedules via -seed.
+bench-load:
+	$(GO) run ./cmd/harvest-loadgen -spawn 2 -platform Jetson \
+		-model ViT_Base -timescale 1 -max-queue-depth 64 -name PR6 \
+		-seed 1 -duration 12s -warmup 2s -shape ramp -peak-mult 12 \
+		-class realtime:rate=30,items=1,slo=400ms \
+		-class online:rate=20,items=1,slo=800ms \
+		-class offline:workers=1,items=8

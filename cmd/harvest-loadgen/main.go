@@ -1,0 +1,142 @@
+// Command harvest-loadgen is the coordinated-omission-safe load
+// harness: it drives a live harvest-serve or harvest-router endpoint
+// with mixed scenario-class traffic (open-loop Poisson schedules
+// and/or closed-loop worker pools) and writes a machine-readable
+// BENCH_<name>.json with per-class throughput, service *and*
+// intended-start latency percentiles, SLO attainment and outcome
+// counts. Identical seed and config produce identical arrival
+// schedules.
+//
+// Usage:
+//
+//	harvest-loadgen -target http://127.0.0.1:8100 -model ViT_Tiny \
+//	    -class realtime:rate=120,items=1 -class offline:workers=2,items=8 \
+//	    [-duration 10s] [-warmup 2s] [-seed 1] [-name run] \
+//	    [-shape constant|diurnal|burst|ramp] [-peak-mult 4] \
+//	    [-period 2s] [-burst-dur 400ms] [-max-inflight 4096] [-out path]
+//
+// With no -target, a self-hosted fleet is stood up in process:
+//
+//	harvest-loadgen -spawn 2 -platform A100 -timescale 0.02 ...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"harvest/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("harvest-loadgen: ")
+	var (
+		target   = flag.String("target", "", "base URL of the system under test (empty = self-host a fleet, see -spawn)")
+		model    = flag.String("model", "ViT_Tiny", "model to drive")
+		name     = flag.String("name", "run", "run label; default artifact is BENCH_<name>.json")
+		out      = flag.String("out", "", "artifact path (default BENCH_<name>.json; \"-\" for stdout only)")
+		seed     = flag.Uint64("seed", 1, "schedule seed; same seed + config = same arrival schedule")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		warmup   = flag.Duration("warmup", 2*time.Second, "leading slice excluded from the measurement window")
+		shape    = flag.String("shape", "constant", "open-loop rate shape: constant, diurnal, burst or ramp")
+		peakMult = flag.Float64("peak-mult", 4, "shape peak as a multiple of each class's base rate")
+		period   = flag.Duration("period", 0, "diurnal/burst cycle length (default duration/5)")
+		burstDur = flag.Duration("burst-dur", 0, "in-burst slice of each period (default period/5)")
+		maxInfl  = flag.Int("max-inflight", 4096, "per-class cap on concurrent in-flight requests")
+		drain    = flag.Duration("drain", 10*time.Second, "post-horizon wait for in-flight requests")
+
+		// Self-hosted fleet knobs (used only when -target is empty).
+		spawn     = flag.Int("spawn", 2, "self-host: replicas behind an in-process router")
+		platform  = flag.String("platform", "A100", "self-host: platform model per replica")
+		timescale = flag.Float64("timescale", 0.02, "self-host: fraction of modeled latency replicas really sleep")
+		queueCap  = flag.Int("max-queue-depth", 0, "self-host: per-model admission queue bound (0 = server default)")
+		preproc   = flag.String("preproc", "", "self-host: encoded-image engine (cpu or cv2) for image=N classes")
+	)
+	var classes []loadgen.ClassConfig
+	flag.Func("class",
+		"traffic class spec, repeatable: class[:rate=R|workers=N][,items=I][,deadline=D][,slo=D][,image=PX]",
+		func(spec string) error {
+			cc, err := loadgen.ParseClassSpec(spec)
+			if err != nil {
+				return err
+			}
+			classes = append(classes, cc)
+			return nil
+		})
+	flag.Parse()
+
+	if len(classes) == 0 {
+		// A representative default mix: paper §2.2's online scenario
+		// open-loop, plus a light offline batch background.
+		classes = []loadgen.ClassConfig{
+			{Class: "online", Rate: 50, Items: 1},
+			{Class: "offline", Workers: 1, Items: 8},
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	tgt := *target
+	if tgt == "" {
+		models := []string{*model}
+		log.Printf("self-hosting %d %s replica(s) behind an in-process router (timescale %g)",
+			*spawn, *platform, *timescale)
+		fleet, err := loadgen.StartFleet(loadgen.FleetConfig{
+			Replicas:      *spawn,
+			Platform:      *platform,
+			Models:        models,
+			TimeScale:     *timescale,
+			MaxQueueDepth: *queueCap,
+			Preproc:       *preproc,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fleet.Close()
+		tgt = fleet.URL
+		log.Printf("fleet ready at %s (replicas: %s)", tgt, strings.Join(fleet.ReplicaURLs, ", "))
+	}
+
+	cfg := loadgen.Config{
+		Target:       tgt,
+		Model:        *model,
+		Name:         *name,
+		Seed:         *seed,
+		Duration:     *duration,
+		Warmup:       *warmup,
+		Shape:        loadgen.Shape(*shape),
+		PeakMult:     *peakMult,
+		Period:       *period,
+		BurstDur:     *burstDur,
+		MaxInflight:  *maxInfl,
+		DrainTimeout: *drain,
+		Classes:      classes,
+	}
+	log.Printf("driving %s model %s for %s (warmup %s, shape %s, seed %d)",
+		tgt, *model, *duration, *warmup, *shape, *seed)
+	report, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Summary())
+	path := *out
+	if path == "" {
+		path = report.DefaultPath()
+	}
+	if path != "-" {
+		if err := report.WriteFile(path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	} else if err := report.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"harvest/internal/serve"
+)
+
+// slowServer fakes the /v2 surface with a deliberately serialized
+// backend: one request at a time, serviceTime each, so its capacity is
+// 1/serviceTime req/s and any offered load above that queues.
+func slowServer(t *testing.T, serviceTime time.Duration) *httptest.Server {
+	t.Helper()
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/health/ready", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v2/models/m/infer", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		time.Sleep(serviceTime)
+		mu.Unlock()
+		json.NewEncoder(w).Encode(serve.InferResponseJSON{Model: "m", Items: 1})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCoordinatedOmissionExposed is the demonstration the harness
+// exists for. The fake server serves exactly one request at a time
+// (2 ms each, capacity 500 req/s).
+//
+// A closed-loop driver with one worker never offers more than the
+// server absorbs: its service-time p99 sits near 2 ms and looks
+// healthy, silently omitting the load it *should* have offered — the
+// coordinated-omission blind spot.
+//
+// An open-loop driver at 4x capacity keeps offering on schedule. Its
+// intended-start latency (scheduled arrival → response) absorbs the
+// growing backlog, so the p99 explodes, exposing the queueing the
+// closed-loop number hides.
+func TestCoordinatedOmissionExposed(t *testing.T) {
+	const serviceTime = 5 * time.Millisecond // capacity: 200 req/s
+	ts := slowServer(t, serviceTime)
+
+	base := Config{
+		Target:   ts.URL,
+		Model:    "m",
+		Seed:     11,
+		Duration: 1200 * time.Millisecond,
+		Warmup:   200 * time.Millisecond,
+		// Modest in-flight cap: slot waits land in intended-start
+		// latency, so bounding concurrency cannot hide queueing, and it
+		// keeps the test stable on small (single-core, race-detector)
+		// machines.
+		MaxInflight: 64,
+	}
+
+	closed := base
+	closed.Name = "closed"
+	closed.Classes = []ClassConfig{{Class: "online", Workers: 1, Items: 1}}
+	closedReport, err := Run(context.Background(), closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedC := closedReport.Classes[0]
+
+	open := base
+	open.Name = "open"
+	// 600 req/s offered against 200 req/s capacity: 3x saturation.
+	// Cap the drain — working off the whole deliberate backlog would
+	// only slow the test; abandoned stragglers count as unfinished.
+	open.DrainTimeout = 2 * time.Second
+	open.Classes = []ClassConfig{{Class: "online", Rate: 600, Items: 1}}
+	openReport, err := Run(context.Background(), open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openC := openReport.Classes[0]
+
+	if closedC.Completed == 0 || openC.Completed == 0 {
+		t.Fatalf("completions closed=%d open=%d, want both > 0", closedC.Completed, openC.Completed)
+	}
+
+	// The closed-loop driver self-throttles to the server's capacity:
+	// its service p99 looks like a healthy ~service-time system (wide
+	// margin for race-detector/single-core overhead).
+	if p99 := closedC.ServiceMs.P99Ms; p99 > 100 {
+		t.Errorf("closed-loop service p99 %.2f ms — expected it to look deceptively healthy (~%v)",
+			p99, serviceTime)
+	}
+	// Closed loop has no schedule, so intended == service by
+	// construction.
+	if closedC.IntendedStartMs.P99Ms > 2*closedC.ServiceMs.P99Ms+1 {
+		t.Errorf("closed-loop intended p99 %.2f ms far above service p99 %.2f ms",
+			closedC.IntendedStartMs.P99Ms, closedC.ServiceMs.P99Ms)
+	}
+
+	// The open-loop intended-start p99 must expose the backlog: at 4x
+	// saturation for a second, queueing delay reaches hundreds of ms.
+	openP99 := openC.IntendedStartMs.P99Ms
+	if openP99 < 50 {
+		t.Errorf("open-loop intended-start p99 %.2f ms, want >= 50 ms (queueing exposed)", openP99)
+	}
+	if openP99 < 5*closedC.ServiceMs.P99Ms {
+		t.Errorf("open-loop intended-start p99 %.2f ms not >> closed-loop service p99 %.2f ms: "+
+			"coordinated omission not exposed", openP99, closedC.ServiceMs.P99Ms)
+	}
+	// And intended-start latency dominates pure service latency.
+	if openP99 < openC.ServiceMs.P99Ms {
+		t.Errorf("open-loop intended p99 %.2f ms below its own service p99 %.2f ms",
+			openP99, openC.ServiceMs.P99Ms)
+	}
+}

@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"harvest/internal/metrics"
+	"harvest/internal/serve"
+)
+
+// outcome buckets one request completion for error accounting.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeRejected429
+	outcomeExpired504
+	outcomeServer5xx
+	outcomeOtherHTTP
+	outcomeTimeout
+	outcomeTransport
+)
+
+// classify maps a serve.Client error to its outcome bucket. 429 and
+// 504 are counted apart from generic 5xx because they are the
+// *designed* overload responses (admission shedding and deadline
+// eviction), not faults.
+func classify(err error) outcome {
+	switch {
+	case err == nil:
+		return outcomeOK
+	case errors.Is(err, serve.ErrOverloaded):
+		return outcomeRejected429
+	case errors.Is(err, serve.ErrDeadlineExpired):
+		return outcomeExpired504
+	}
+	var se *serve.StatusError
+	if errors.As(err, &se) {
+		if se.Code >= 500 {
+			return outcomeServer5xx
+		}
+		return outcomeOtherHTTP
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return outcomeTimeout
+	}
+	return outcomeTransport
+}
+
+// classStats accumulates one class's in-window results. All fields are
+// safe for concurrent recording; latency distributions live in the
+// shared mergeable histogram layout so per-class stats merge exactly
+// into run totals.
+type classStats struct {
+	cfg ClassConfig
+	// offered counts requests whose intended start fell inside the
+	// measurement window, whether or not they ever completed.
+	offered atomic.Int64
+	// counts[o] tallies completions per outcome.
+	counts [outcomeTransport + 1]atomic.Int64
+	// okItems counts images in successful requests.
+	okItems atomic.Int64
+	// sloMet counts successes whose intended-start latency was within
+	// the class SLO. Attainment is sloMet/offered: unfinished and
+	// errored requests are misses, so a collapsing server cannot score
+	// well by only answering the easy requests.
+	sloMet atomic.Int64
+	// service is send→response; intended is scheduled-arrival→response
+	// (equal to service for closed-loop classes).
+	service  metrics.LatencyRecorder
+	intended metrics.LatencyRecorder
+}
+
+// recordOffered notes one scheduled in-window arrival.
+func (s *classStats) recordOffered() { s.offered.Add(1) }
+
+// record notes one in-window completion.
+func (s *classStats) record(serviceSec, intendedSec float64, err error) {
+	o := classify(err)
+	s.counts[o].Add(1)
+	if o != outcomeOK {
+		return
+	}
+	s.okItems.Add(int64(s.cfg.Items))
+	s.service.Observe(serviceSec)
+	s.intended.Observe(intendedSec)
+	if intendedSec*1000 <= s.cfg.SLOMs {
+		s.sloMet.Add(1)
+	}
+}
+
+func (s *classStats) completions() int64 {
+	var total int64
+	for i := range s.counts {
+		total += s.counts[i].Load()
+	}
+	return total
+}

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"harvest/internal/core"
+	"harvest/internal/serve"
+)
+
+// FleetConfig describes a self-hosted system under test: N in-process
+// harvest-serve replicas behind an in-process router, all over
+// loopback HTTP. It lets `harvest-loadgen` (and `make bench-load`)
+// produce a BENCH artifact for this host with a single command, no
+// separately launched fleet required.
+type FleetConfig struct {
+	// Replicas is the number of backing servers (default 2).
+	Replicas int
+	// Platform is the hw platform model per replica (default A100).
+	Platform string
+	// Models limits the served models (empty = all four).
+	Models []string
+	// TimeScale is the fraction of modeled latency replicas really
+	// sleep (0 = none; benchmarks wanting realistic queueing should
+	// set a small positive value).
+	TimeScale float64
+	// QueueDelay is the dynamic batching window (0 = server default).
+	QueueDelay time.Duration
+	// MaxQueueDepth bounds each replica's admission queue (0 = server
+	// default); saturation sweeps rely on it to trigger 429 shedding.
+	MaxQueueDepth int
+	// Preproc optionally enables the encoded-image path ("cpu"/"cv2").
+	Preproc string
+}
+
+// Fleet is a running self-hosted tier.
+type Fleet struct {
+	// URL is the router's base URL — the loadgen target.
+	URL string
+	// ReplicaURLs are the individual backends.
+	ReplicaURLs []string
+	stops       []func()
+}
+
+// listenLoopback serves h on an ephemeral loopback port.
+func listenLoopback(h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// StartFleet stands up the tier; callers must Close it.
+func StartFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Platform == "" {
+		cfg.Platform = "A100"
+	}
+	f := &Fleet{}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+	for i := 0; i < cfg.Replicas; i++ {
+		srv, err := core.NewDeployment(core.DeploymentConfig{
+			Platform:      cfg.Platform,
+			Models:        cfg.Models,
+			QueueDelay:    cfg.QueueDelay,
+			TimeScale:     cfg.TimeScale,
+			MaxQueueDepth: cfg.MaxQueueDepth,
+			Preproc:       cfg.Preproc,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: replica %d: %w", i, err)
+		}
+		f.stops = append(f.stops, srv.Close)
+		url, stop, err := listenLoopback(srv.Handler())
+		if err != nil {
+			return nil, err
+		}
+		f.stops = append(f.stops, stop)
+		f.ReplicaURLs = append(f.ReplicaURLs, url)
+	}
+	router, err := serve.NewRouter(f.ReplicaURLs, serve.RouterConfig{
+		Pool: serve.PoolConfig{
+			// Refresh load snapshots well inside a short run so
+			// queue-depth-aware dispatch works with live data.
+			ProbeInterval: 20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.stops = append(f.stops, router.Close)
+	url, stop, err := listenLoopback(router.Handler())
+	if err != nil {
+		return nil, err
+	}
+	f.stops = append(f.stops, stop)
+	f.URL = url
+	ok = true
+	return f, nil
+}
+
+// Close tears the tier down, router first.
+func (f *Fleet) Close() {
+	for i := len(f.stops) - 1; i >= 0; i-- {
+		f.stops[i]()
+	}
+	f.stops = nil
+}

@@ -1,0 +1,333 @@
+// Package loadgen is the load harness that proves the serving tier
+// scales: it drives a live harvest-serve or harvest-router endpoint
+// with mixed scenario-class traffic at controlled arrival rates and
+// reports coordinated-omission-safe latency.
+//
+// Two generation disciplines per traffic class:
+//
+//   - Open loop (Rate > 0): arrivals follow a seeded Poisson schedule
+//     (workload.ArrivalStream) that never waits for responses. Each
+//     request records two latencies — service time (send → response)
+//     and *intended-start* time (scheduled arrival → response). When
+//     the system under test queues, the intended-start distribution
+//     absorbs the backlog that a closed-loop driver would silently
+//     hide by slowing its own offered load (coordinated omission).
+//
+//   - Closed loop (Workers > 0): a fixed worker pool issues requests
+//     back-to-back. Useful for peak-capacity probes; its latency
+//     numbers are only trustworthy below saturation.
+//
+// Open-loop classes can additionally shape their rate over time
+// (diurnal, burst, ramp-to-failure). Results, including the full
+// config echo, are written as machine-readable BENCH_<name>.json so
+// every PR's perf trajectory is a regression artifact.
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"harvest/internal/stats"
+	"harvest/internal/workload"
+)
+
+// Shape names an open-loop rate shape over the run.
+type Shape string
+
+// Rate shapes. Constant holds each class's Rate; the others modulate
+// it (see rateFn) with PeakMult, Period and BurstDur.
+const (
+	ShapeConstant Shape = "constant"
+	ShapeDiurnal  Shape = "diurnal"
+	ShapeBurst    Shape = "burst"
+	ShapeRamp     Shape = "ramp"
+)
+
+// ParseShape validates a shape name ("" means constant).
+func ParseShape(s string) (Shape, error) {
+	switch Shape(strings.ToLower(strings.TrimSpace(s))) {
+	case "", ShapeConstant:
+		return ShapeConstant, nil
+	case ShapeDiurnal:
+		return ShapeDiurnal, nil
+	case ShapeBurst:
+		return ShapeBurst, nil
+	case ShapeRamp:
+		return ShapeRamp, nil
+	}
+	return "", fmt.Errorf("loadgen: unknown rate shape %q (want constant, diurnal, burst or ramp)", s)
+}
+
+// ClassConfig is one traffic class in the mix. Exactly one of Rate
+// (open loop) or Workers (closed loop) must be set.
+type ClassConfig struct {
+	// Class is the scenario lane: "realtime", "online" or "offline"
+	// (serve.ParseClass names).
+	Class string `json:"class"`
+	// Rate is the open-loop mean arrival rate in requests/second (the
+	// base rate when a non-constant Shape applies).
+	Rate float64 `json:"rate_per_sec,omitempty"`
+	// Workers is the closed-loop concurrency; each worker issues
+	// requests back-to-back.
+	Workers int `json:"workers,omitempty"`
+	// Items is the number of images per request (default 1).
+	Items int `json:"items"`
+	// DeadlineMs travels as the request's deadline_ms budget; 0 leaves
+	// the server's class default in force.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// SLOMs is the latency threshold (on intended-start latency) that
+	// counts as attained. Defaults to DeadlineMs when set, else a class
+	// default (realtime 16.7 ms, online 100 ms, offline 1000 ms).
+	SLOMs float64 `json:"slo_ms"`
+	// ImageSide, when > 0, sends Items base64-encoded synthetic PPM
+	// images of this side length per request (the encoded-image
+	// serving path) instead of an items-only body. Requires a server
+	// started with a preprocessing engine.
+	ImageSide int `json:"image_side,omitempty"`
+}
+
+// Open reports whether the class is driven open-loop.
+func (c ClassConfig) Open() bool { return c.Rate > 0 }
+
+// classSLODefaults maps scenario lanes to default SLO thresholds (ms).
+var classSLODefaults = map[string]float64{
+	"realtime": 16.7, // the paper's 60 FPS frame budget
+	"online":   100,
+	"offline":  1000,
+}
+
+// ParseClassSpec parses the compact CLI form of one class:
+//
+//	class[:key=value[,key=value...]]
+//
+// with keys rate (req/s), workers, items, deadline (duration), slo
+// (duration) and image (side px). Examples:
+//
+//	realtime:rate=60,items=1,deadline=16.7ms
+//	offline:workers=2,items=8
+func ParseClassSpec(spec string) (ClassConfig, error) {
+	name, rest, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	cc := ClassConfig{Class: strings.ToLower(strings.TrimSpace(name)), Items: 1}
+	if cc.Class == "" {
+		return cc, fmt.Errorf("loadgen: empty class in spec %q", spec)
+	}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return cc, fmt.Errorf("loadgen: malformed %q in class spec %q (want key=value)", kv, spec)
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			var err error
+			switch k {
+			case "rate":
+				cc.Rate, err = strconv.ParseFloat(v, 64)
+			case "workers":
+				cc.Workers, err = strconv.Atoi(v)
+			case "items":
+				cc.Items, err = strconv.Atoi(v)
+			case "image":
+				cc.ImageSide, err = strconv.Atoi(v)
+			case "deadline":
+				var d time.Duration
+				d, err = time.ParseDuration(v)
+				cc.DeadlineMs = float64(d) / float64(time.Millisecond)
+			case "slo":
+				var d time.Duration
+				d, err = time.ParseDuration(v)
+				cc.SLOMs = float64(d) / float64(time.Millisecond)
+			default:
+				return cc, fmt.Errorf("loadgen: unknown key %q in class spec %q", k, spec)
+			}
+			if err != nil {
+				return cc, fmt.Errorf("loadgen: bad value for %q in class spec %q: %v", k, spec, err)
+			}
+		}
+	}
+	return cc, cc.validate()
+}
+
+func (c ClassConfig) validate() error {
+	if c.Rate < 0 || c.Workers < 0 || c.Items <= 0 || c.ImageSide < 0 || c.DeadlineMs < 0 || c.SLOMs < 0 {
+		return fmt.Errorf("loadgen: class %q has a negative or zero-items parameter", c.Class)
+	}
+	if (c.Rate > 0) == (c.Workers > 0) {
+		return fmt.Errorf("loadgen: class %q must set exactly one of rate (open loop) or workers (closed loop)", c.Class)
+	}
+	return nil
+}
+
+// Config is one load-generation run.
+type Config struct {
+	// Target is the base URL of the system under test (a harvest-serve
+	// replica or a harvest-router fleet).
+	Target string `json:"target"`
+	// Model is the model to drive.
+	Model string `json:"model"`
+	// Name labels the run; the BENCH artifact is BENCH_<Name>.json.
+	Name string `json:"name"`
+	// Seed makes arrival schedules reproducible: identical seed and
+	// config produce identical schedules.
+	Seed uint64 `json:"seed"`
+	// Duration is the full run length, Warmup the leading slice whose
+	// requests are excluded from the measurement window.
+	Duration time.Duration `json:"-"`
+	Warmup   time.Duration `json:"-"`
+	// DurationSec/WarmupSec mirror Duration/Warmup for the JSON echo.
+	DurationSec float64 `json:"duration_sec"`
+	WarmupSec   float64 `json:"warmup_sec"`
+	// Shape modulates every open-loop class's rate over the run.
+	Shape Shape `json:"shape"`
+	// PeakMult scales the shape: ramp ends (and bursts/diurnal peaks
+	// reach) PeakMult × the class base rate. Default 4.
+	PeakMult float64 `json:"peak_mult,omitempty"`
+	// Period is the diurnal/burst cycle length (default Duration/5).
+	Period time.Duration `json:"-"`
+	// BurstDur is the in-burst slice of each period (default Period/5).
+	BurstDur  time.Duration `json:"-"`
+	PeriodSec float64       `json:"period_sec,omitempty"`
+	BurstSec  float64       `json:"burst_sec,omitempty"`
+	// MaxInflight caps concurrent in-flight requests per class (open
+	// loop only; slot waits are part of intended-start latency, so the
+	// cap cannot hide queueing). Default 4096.
+	MaxInflight int `json:"max_inflight"`
+	// DrainTimeout bounds the post-horizon wait for in-flight requests;
+	// stragglers beyond it are reported as unfinished. Default 10 s.
+	DrainTimeout time.Duration `json:"-"`
+	// Classes is the traffic mix.
+	Classes []ClassConfig `json:"classes"`
+}
+
+// withDefaults validates the config and resolves every default,
+// returning the effective config that Run uses and the report echoes.
+func (c Config) withDefaults() (Config, error) {
+	if c.Target == "" {
+		return c, fmt.Errorf("loadgen: no target URL")
+	}
+	if c.Model == "" {
+		return c, fmt.Errorf("loadgen: no model")
+	}
+	if c.Duration <= 0 {
+		return c, fmt.Errorf("loadgen: non-positive duration")
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return c, fmt.Errorf("loadgen: warmup %v must be in [0, duration %v)", c.Warmup, c.Duration)
+	}
+	if len(c.Classes) == 0 {
+		return c, fmt.Errorf("loadgen: no traffic classes")
+	}
+	var err error
+	if c.Shape, err = ParseShape(string(c.Shape)); err != nil {
+		return c, err
+	}
+	if c.Name == "" {
+		c.Name = "run"
+	}
+	if c.PeakMult <= 0 {
+		c.PeakMult = 4
+	}
+	if c.Period <= 0 {
+		c.Period = c.Duration / 5
+	}
+	if c.BurstDur <= 0 {
+		c.BurstDur = c.Period / 5
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4096
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	for i := range c.Classes {
+		cc := &c.Classes[i]
+		if cc.Items <= 0 {
+			cc.Items = 1
+		}
+		if err := cc.validate(); err != nil {
+			return c, err
+		}
+		if cc.SLOMs <= 0 {
+			if cc.DeadlineMs > 0 {
+				cc.SLOMs = cc.DeadlineMs
+			} else if d, ok := classSLODefaults[cc.Class]; ok {
+				cc.SLOMs = d
+			} else {
+				cc.SLOMs = classSLODefaults["online"]
+			}
+		}
+	}
+	c.DurationSec = c.Duration.Seconds()
+	c.WarmupSec = c.Warmup.Seconds()
+	c.PeriodSec = c.Period.Seconds()
+	c.BurstSec = c.BurstDur.Seconds()
+	return c, nil
+}
+
+// classRNGs derives one independent deterministic stream per class
+// from the run seed, in class order. Run and Schedule share this
+// derivation, which is what makes schedules reproducible: identical
+// seed and config always yield identical per-class arrival times.
+func (c Config) classRNGs() []*stats.RNG {
+	root := stats.NewRNG(c.Seed)
+	rngs := make([]*stats.RNG, len(c.Classes))
+	for i := range rngs {
+		rngs[i] = root.Split()
+	}
+	return rngs
+}
+
+// Schedule materializes every open-loop class's arrival schedule — the
+// exact offsets Run fires at for this seed and config. Closed-loop
+// classes have no schedule and yield a nil entry. Intended for
+// inspection and reproducibility checks; Run itself streams arrivals
+// in O(1) memory.
+func (c Config) Schedule() ([][]workload.Arrival, error) {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rngs := cfg.classRNGs()
+	out := make([][]workload.Arrival, len(cfg.Classes))
+	for i, cc := range cfg.Classes {
+		if !cc.Open() {
+			continue
+		}
+		rate, peak := cfg.rateFn(cc)
+		s := workload.NewArrivalStream(rngs[i], rate, peak, cfg.Duration.Seconds(), cc.Items)
+		s.Each(func(a workload.Arrival) bool {
+			out[i] = append(out[i], a)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// rateFn builds the workload rate shape and its peak for one open-loop
+// class under the run's shape settings.
+func (c Config) rateFn(cc ClassConfig) (workload.RateFn, float64) {
+	base := cc.Rate
+	horizon := c.Duration.Seconds()
+	switch c.Shape {
+	case ShapeDiurnal:
+		amp := (c.PeakMult - 1) * base
+		return workload.DiurnalRate(base, amp, c.Period.Seconds()), base + amp
+	case ShapeBurst:
+		burst := base * c.PeakMult
+		peak := burst
+		if base > peak {
+			peak = base
+		}
+		return workload.BurstRate(base, burst, c.Period.Seconds(), c.BurstDur.Seconds()), peak
+	case ShapeRamp:
+		end := base * c.PeakMult
+		peak := end
+		if base > peak {
+			peak = base
+		}
+		return workload.RampRate(base, end, horizon), peak
+	default:
+		return workload.ConstantRate(base), base
+	}
+}

@@ -1,0 +1,225 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"harvest/internal/imaging"
+	"harvest/internal/serve"
+	"harvest/internal/stats"
+	"harvest/internal/workload"
+)
+
+// runner holds one run's shared state.
+type runner struct {
+	cfg    Config
+	client *serve.Client
+	start  time.Time
+	// reqCtx bounds every request: caller context capped at
+	// horizon + drain, so stragglers cancel instead of leaking.
+	reqCtx context.Context
+	cols   []*classStats
+	// bodies[i] is class i's pre-built request template (payloads are
+	// immutable and shared across requests).
+	bodies []serve.InferRequestJSON
+	reqWG  sync.WaitGroup
+}
+
+// Run executes one load-generation run against cfg.Target and returns
+// the report. The caller context cancels the run early; the normal end
+// is the configured horizon plus a drain for in-flight requests.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	client := serve.NewClient(cfg.Target)
+	// The harness measures overload responses instead of retrying
+	// through them: a retry would mutate the offered-load schedule.
+	client.MaxRetries = -1
+	readyCtx, cancelReady := context.WithTimeout(ctx, 30*time.Second)
+	defer cancelReady()
+	if err := client.WaitReady(readyCtx); err != nil {
+		return nil, fmt.Errorf("loadgen: target %s not ready: %w", cfg.Target, err)
+	}
+
+	r := &runner{cfg: cfg, client: client}
+	for _, cc := range cfg.Classes {
+		r.cols = append(r.cols, &classStats{cfg: cc})
+		body, err := buildBody(cfg, cc)
+		if err != nil {
+			return nil, err
+		}
+		r.bodies = append(r.bodies, body)
+	}
+
+	// Every class draws from its own stream split off one seeded root
+	// (the derivation Schedule shares), so the mix's schedules are
+	// reproducible and class-independent.
+	rngs := cfg.classRNGs()
+
+	r.start = time.Now()
+	reqCtx, cancelReq := context.WithDeadline(ctx, r.start.Add(cfg.Duration+cfg.DrainTimeout))
+	defer cancelReq()
+	r.reqCtx = reqCtx
+	// genCtx paces the generators; it ends at the horizon.
+	genCtx, cancelGen := context.WithDeadline(ctx, r.start.Add(cfg.Duration))
+	defer cancelGen()
+
+	var genWG sync.WaitGroup
+	for i, cc := range cfg.Classes {
+		genWG.Add(1)
+		if cc.Open() {
+			go func(i int, cc ClassConfig, rng *stats.RNG) {
+				defer genWG.Done()
+				r.openLoop(genCtx, i, cc, rng)
+			}(i, cc, rngs[i])
+		} else {
+			go func(i int, cc ClassConfig) {
+				defer genWG.Done()
+				r.closedLoop(genCtx, i, cc)
+			}(i, cc)
+		}
+	}
+	genWG.Wait()
+
+	// Drain: wait for in-flight requests up to the drain timeout; what
+	// remains is reported as unfinished.
+	drained := make(chan struct{})
+	go func() { r.reqWG.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(cfg.DrainTimeout):
+		cancelReq()
+		<-drained
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: run cancelled: %w", err)
+	}
+	return buildReport(cfg, r.cols, time.Now()), nil
+}
+
+// buildBody constructs a class's request template, synthesizing PPM
+// payloads for the encoded-image path when ImageSide is set.
+func buildBody(cfg Config, cc ClassConfig) (serve.InferRequestJSON, error) {
+	body := serve.InferRequestJSON{
+		Items:      cc.Items,
+		Class:      cc.Class,
+		DeadlineMs: cc.DeadlineMs,
+	}
+	if cc.ImageSide > 0 {
+		im := imaging.NewImage(cc.ImageSide, cc.ImageSide)
+		for i := range im.Pix {
+			// A cheap deterministic gradient; content is irrelevant to
+			// the serving path, only payload size and decodability.
+			im.Pix[i] = uint8(i * 31)
+		}
+		enc, err := imaging.EncodeBytes(im, imaging.FormatPPM)
+		if err != nil {
+			return body, fmt.Errorf("loadgen: encoding class %s payload: %w", cc.Class, err)
+		}
+		body.ImageFormat = "ppm"
+		body.Images = make([][]byte, cc.Items)
+		for i := range body.Images {
+			body.Images[i] = enc
+		}
+	}
+	return body, nil
+}
+
+// openLoop schedules class i's arrivals from its seeded stream,
+// firing each request at its intended time regardless of how earlier
+// requests are doing — the generator never blocks on a response, so
+// offered load is exactly the schedule (no coordinated omission).
+func (r *runner) openLoop(genCtx context.Context, i int, cc ClassConfig, rng *stats.RNG) {
+	cs := r.cols[i]
+	rate, peak := r.cfg.rateFn(cc)
+	stream := workload.NewArrivalStream(rng, rate, peak, r.cfg.Duration.Seconds(), cc.Items)
+	if stream == nil {
+		return
+	}
+	warmupSec := r.cfg.Warmup.Seconds()
+	// sem bounds in-flight requests for memory safety. Acquisition
+	// happens inside the request goroutine, after the intended start:
+	// a saturated target shows up as intended-start latency (and
+	// eventually unfinished requests), never as a silently stretched
+	// schedule.
+	sem := make(chan struct{}, r.cfg.MaxInflight)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		a, ok := stream.Next()
+		if !ok {
+			return
+		}
+		intended := r.start.Add(time.Duration(a.Time * float64(time.Second)))
+		if d := time.Until(intended); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-genCtx.Done():
+				return
+			case <-timer.C:
+			}
+		}
+		inWindow := a.Time >= warmupSec
+		if inWindow {
+			cs.recordOffered()
+		}
+		r.reqWG.Add(1)
+		go func(intended time.Time, inWindow bool) {
+			defer r.reqWG.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-r.reqCtx.Done():
+				return // abandoned at the inflight cap: stays unfinished
+			}
+			defer func() { <-sem }()
+			r.fire(i, intended, inWindow)
+		}(intended, inWindow)
+	}
+}
+
+// closedLoop runs class i's fixed worker pool: each worker issues
+// requests back-to-back until the horizon. Intended start equals the
+// actual send, which is exactly the coordinated-omission blind spot
+// this mode is documented to have.
+func (r *runner) closedLoop(genCtx context.Context, i int, cc ClassConfig) {
+	cs := r.cols[i]
+	warmupSec := r.cfg.Warmup.Seconds()
+	var wg sync.WaitGroup
+	for w := 0; w < cc.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for genCtx.Err() == nil {
+				now := time.Now()
+				if off := now.Sub(r.start).Seconds(); off < r.cfg.Duration.Seconds() {
+					inWindow := off >= warmupSec
+					if inWindow {
+						cs.recordOffered()
+					}
+					r.fire(i, now, inWindow)
+					continue
+				}
+				return
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fire sends one request and records its outcome against class i.
+func (r *runner) fire(i int, intended time.Time, inWindow bool) {
+	sent := time.Now()
+	_, err := r.client.Infer(r.reqCtx, r.cfg.Model, r.bodies[i])
+	done := time.Now()
+	if !inWindow {
+		return
+	}
+	r.cols[i].record(done.Sub(sent).Seconds(), done.Sub(intended).Seconds(), err)
+}

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -278,10 +279,39 @@ func (c *Client) Metrics(ctx context.Context) (*MetricsJSON, error) {
 type overloadError struct {
 	err        error
 	retryAfter time.Duration
+	// hasRetryAfter distinguishes an explicit "Retry-After: 0" (the
+	// server says retry immediately) from an absent or unparseable
+	// header (fall back to the client's own backoff).
+	hasRetryAfter bool
 }
 
 func (o *overloadError) Error() string { return o.err.Error() }
 func (o *overloadError) Unwrap() error { return o.err }
+
+// parseRetryAfter parses a Retry-After header value in either RFC 7231
+// form: delta-seconds ("120") or an HTTP-date. ok reports whether the
+// header was present and parseable. Negative deltas and past dates
+// yield 0 (retry immediately).
+func parseRetryAfter(h string, now time.Time) (time.Duration, bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0, false
+	}
+	if sec, err := strconv.Atoi(h); err == nil {
+		if sec < 0 {
+			return 0, true
+		}
+		return time.Duration(sec) * time.Second, true
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			return 0, true
+		}
+		return d, true
+	}
+	return 0, false
+}
 
 // Infer submits one inference request. Ordinary failures are not
 // retried (POSTs are not idempotent from the server's point of view),
@@ -313,14 +343,31 @@ func (c *Client) Infer(ctx context.Context, model string, body InferRequestJSON)
 		if attempt >= retries || ctx.Err() != nil || !errors.As(err, &oe) {
 			return nil, err
 		}
+		// The server's Retry-After is a *floor* on the next attempt, not
+		// a cap: retrying sooner than the server asked amplifies the very
+		// congestion that caused the 429. An explicit "Retry-After: 0"
+		// means retry immediately. Absent a hint, the client's own
+		// doubling backoff applies.
 		wait := backoff
-		if oe.retryAfter > 0 && oe.retryAfter < wait {
-			wait = oe.retryAfter
+		if oe.hasRetryAfter {
+			if oe.retryAfter == 0 {
+				wait = 0
+			} else if oe.retryAfter > wait {
+				wait = oe.retryAfter
+			}
 		}
-		select {
-		case <-ctx.Done():
-			return nil, fmt.Errorf("serve: infer %s: %w (last error: %v)", model, ctx.Err(), err)
-		case <-time.After(wait):
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < wait {
+			// Honoring the floor would outlive the caller's budget:
+			// surface the overload instead of sleeping into the deadline.
+			return nil, fmt.Errorf("serve: infer %s: retry-after %s exceeds context budget: %w (last error: %v)",
+				model, wait, context.DeadlineExceeded, err)
+		}
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("serve: infer %s: %w (last error: %v)", model, ctx.Err(), err)
+			case <-time.After(wait):
+			}
 		}
 		backoff *= 2
 	}
@@ -357,11 +404,8 @@ func (c *Client) inferOnce(ctx context.Context, model string, body InferRequestJ
 		}
 		se := statusError(resp.StatusCode, msg)
 		if resp.StatusCode == http.StatusTooManyRequests {
-			var after time.Duration
-			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
-				after = time.Duration(sec) * time.Second
-			}
-			return nil, &overloadError{err: se, retryAfter: after}
+			after, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+			return nil, &overloadError{err: se, retryAfter: after, hasRetryAfter: ok}
 		}
 		return nil, se
 	}

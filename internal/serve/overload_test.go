@@ -388,12 +388,13 @@ func TestHTTPBadClassRejected(t *testing.T) {
 }
 
 // TestClientRetriesOn429 verifies the client backs off and resubmits
-// shed requests, honoring the Retry-After hint.
+// shed requests, honoring the Retry-After hint ("0" = retry
+// immediately, no backoff).
 func TestClientRetriesOn429(t *testing.T) {
 	var calls atomic.Int64
 	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1) <= 2 {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", "0")
 			w.WriteHeader(http.StatusTooManyRequests)
 			json.NewEncoder(w).Encode(errorJSON{Error: "overloaded"})
 			return

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// overloadOnceServer replies 429 with the given Retry-After header for
+// the first n calls, then succeeds, recording the wall time of each
+// call.
+func overloadOnceServer(t *testing.T, n int64, retryAfter string) (*httptest.Server, *[]time.Time) {
+	t.Helper()
+	var calls atomic.Int64
+	var mu sync.Mutex
+	times := &[]time.Time{}
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		*times = append(*times, time.Now())
+		mu.Unlock()
+		if calls.Add(1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(errorJSON{Error: "overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(InferResponseJSON{ID: "ok", Model: "m", Items: 1})
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, times
+}
+
+// TestClientRetryAfterIsFloor pins the overload-retry fix: the server's
+// Retry-After hint is a floor on the next attempt, so a client whose
+// own backoff is shorter must still wait at least the hinted duration
+// instead of hammering an overloaded server sooner than asked.
+func TestClientRetryAfterIsFloor(t *testing.T) {
+	ts, times := overloadOnceServer(t, 1, "1")
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond // far below the 1 s hint
+	resp, err := c.Infer(context.Background(), "m", InferRequestJSON{Items: 1})
+	if err != nil {
+		t.Fatalf("infer after 429: %v", err)
+	}
+	if resp.ID != "ok" {
+		t.Fatalf("resp %+v, want ok", resp)
+	}
+	if len(*times) != 2 {
+		t.Fatalf("%d calls, want 2", len(*times))
+	}
+	if gap := (*times)[1].Sub((*times)[0]); gap < 900*time.Millisecond {
+		t.Errorf("retried %v after the 429, want >= ~1s (Retry-After floor)", gap)
+	}
+}
+
+// TestClientRetryAfterHTTPDate verifies the RFC 7231 HTTP-date form is
+// honored like delta-seconds.
+func TestClientRetryAfterHTTPDate(t *testing.T) {
+	// HTTP-dates have one-second resolution, so +2s guarantees the
+	// parsed floor is at least ~1s regardless of sub-second truncation.
+	date := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	ts, times := overloadOnceServer(t, 1, date)
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond
+	if _, err := c.Infer(context.Background(), "m", InferRequestJSON{Items: 1}); err != nil {
+		t.Fatalf("infer after 429: %v", err)
+	}
+	if len(*times) != 2 {
+		t.Fatalf("%d calls, want 2", len(*times))
+	}
+	if gap := (*times)[1].Sub((*times)[0]); gap < 900*time.Millisecond {
+		t.Errorf("retried %v after the 429, want >= ~1s (HTTP-date Retry-After)", gap)
+	}
+}
+
+// TestClientRetryAfterCappedByDeadline verifies a Retry-After floor
+// that would outlive the caller's context budget surfaces the overload
+// promptly instead of sleeping into the deadline.
+func TestClientRetryAfterCappedByDeadline(t *testing.T) {
+	ts, _ := overloadOnceServer(t, 1_000_000, "5")
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Infer(ctx, "m", InferRequestJSON{Items: 1})
+	if err == nil {
+		t.Fatal("infer succeeded, want overload/deadline error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrOverloaded) {
+		t.Errorf("error %v, want context.DeadlineExceeded or ErrOverloaded", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("Infer took %v, want prompt return (no 5s Retry-After sleep)", el)
+	}
+}
+
+// TestParseRetryAfter pins both RFC 7231 forms plus the degenerate
+// inputs: "0" is an explicit immediate-retry hint (present, zero),
+// junk and absence fall back to client backoff (not present).
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"garbage", 0, false},
+		{"1.5", 0, false},
+		{"0", 0, true},
+		{"-3", 0, true},
+		{"2", 2 * time.Second, true},
+		{" 7 ", 7 * time.Second, true},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true}, // past date: retry now
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

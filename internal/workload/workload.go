@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"harvest/internal/stats"
 )
@@ -18,23 +19,129 @@ type Arrival struct {
 	Items int
 }
 
-// PoissonTrace generates open-loop arrivals with exponential
-// inter-arrival times at ratePerSec requests/second over the horizon,
-// each carrying itemsPerReq images. Used for the online scenario.
-func PoissonTrace(rng *stats.RNG, ratePerSec, horizonSec float64, itemsPerReq int) []Arrival {
-	if ratePerSec <= 0 || horizonSec <= 0 || itemsPerReq <= 0 {
+// RateFn maps an offset (seconds from trace start) to an instantaneous
+// arrival rate in requests/second. Rate shapes drive the
+// non-homogeneous Poisson generator (ArrivalStream): the load harness
+// uses them for diurnal, burst and ramp-to-failure traffic.
+type RateFn func(tSec float64) float64
+
+// ConstantRate is the homogeneous shape: ratePerSec at every offset.
+func ConstantRate(ratePerSec float64) RateFn {
+	return func(float64) float64 { return ratePerSec }
+}
+
+// DiurnalRate models a day/night cycle compressed to periodSec: a
+// sinusoid around base with swing ±amplitude, clamped at zero. Peak
+// rate is base+amplitude.
+func DiurnalRate(base, amplitude, periodSec float64) RateFn {
+	return func(t float64) float64 {
+		v := base + amplitude*math.Sin(2*math.Pi*t/periodSec)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// BurstRate is a square wave: burst requests/second for the first
+// burstSec of every periodSec window, base otherwise. Peak rate is
+// max(base, burst).
+func BurstRate(base, burst, periodSec, burstSec float64) RateFn {
+	return func(t float64) float64 {
+		if periodSec > 0 && math.Mod(t, periodSec) < burstSec {
+			return burst
+		}
+		return base
+	}
+}
+
+// RampRate ramps linearly from start to end requests/second over
+// horizonSec (holding end afterwards): the ramp-to-failure sweep shape.
+// Peak rate is max(start, end).
+func RampRate(start, end, horizonSec float64) RateFn {
+	return func(t float64) float64 {
+		if horizonSec <= 0 || t >= horizonSec {
+			return end
+		}
+		return start + (end-start)*t/horizonSec
+	}
+}
+
+// ArrivalStream generates a Poisson arrival process one arrival at a
+// time, in O(1) memory, so multi-hour million-arrival load runs never
+// materialize a trace slice. Non-homogeneous rates are drawn by Lewis
+// thinning: candidate arrivals at peakRate, accepted with probability
+// rate(t)/peakRate. For a constant rate equal to the peak no thinning
+// variates are drawn, so the stream consumes the RNG exactly like the
+// historical PoissonTrace and reproduces its schedules bit-for-bit.
+type ArrivalStream struct {
+	rng     *stats.RNG
+	rate    RateFn
+	peak    float64
+	horizon float64
+	items   int
+	t       float64
+	done    bool
+}
+
+// NewArrivalStream returns a stream of arrivals over [0, horizonSec)
+// carrying itemsPerReq images each. peakRatePerSec must be ≥ the
+// maximum of rate over the horizon (rates above it are clamped to it).
+// Returns nil for non-positive peak, horizon or items.
+func NewArrivalStream(rng *stats.RNG, rate RateFn, peakRatePerSec, horizonSec float64, itemsPerReq int) *ArrivalStream {
+	if rng == nil || rate == nil || peakRatePerSec <= 0 || horizonSec <= 0 || itemsPerReq <= 0 {
 		return nil
 	}
-	var out []Arrival
-	t := 0.0
-	exp := stats.Exponential{Lambda: ratePerSec}
-	for {
-		t += exp.Sample(rng)
-		if t >= horizonSec {
-			return out
-		}
-		out = append(out, Arrival{Time: t, Items: itemsPerReq})
+	return &ArrivalStream{rng: rng, rate: rate, peak: peakRatePerSec, horizon: horizonSec, items: itemsPerReq}
+}
+
+// Next returns the next arrival, or ok=false once the horizon is
+// reached (and forever after).
+func (s *ArrivalStream) Next() (Arrival, bool) {
+	if s == nil || s.done {
+		return Arrival{}, false
 	}
+	for {
+		s.t += s.rng.ExpFloat64() / s.peak
+		if s.t >= s.horizon {
+			s.done = true
+			return Arrival{}, false
+		}
+		r := s.rate(s.t)
+		// Accept without drawing a thinning variate when the rate is at
+		// (or above) the peak: keeps the constant-rate stream
+		// RNG-identical to the legacy slice generator.
+		if r >= s.peak || (r > 0 && s.rng.Float64()*s.peak < r) {
+			return Arrival{Time: s.t, Items: s.items}, true
+		}
+	}
+}
+
+// Each invokes fn for every remaining arrival in schedule order,
+// stopping early if fn returns false.
+func (s *ArrivalStream) Each(fn func(Arrival) bool) {
+	for {
+		a, ok := s.Next()
+		if !ok || !fn(a) {
+			return
+		}
+	}
+}
+
+// PoissonTrace generates open-loop arrivals with exponential
+// inter-arrival times at ratePerSec requests/second over the horizon,
+// each carrying itemsPerReq images. Used for the online scenario. It is
+// a materializing wrapper over ArrivalStream (constant rate) and
+// produces the identical schedule for the same seed; prefer the stream
+// for long horizons.
+func PoissonTrace(rng *stats.RNG, ratePerSec, horizonSec float64, itemsPerReq int) []Arrival {
+	s := NewArrivalStream(rng, ConstantRate(ratePerSec), ratePerSec, horizonSec, itemsPerReq)
+	var out []Arrival
+	s.Each(func(a Arrival) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
 }
 
 // FrameTrace generates a fixed-FPS camera stream of frames frames, one
