@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-preproc bench-load
+.PHONY: all build test race vet check bench bench-preproc bench-load bench-fleet
 
 all: check
 
@@ -18,7 +18,7 @@ vet:
 # buffer, pipeline, the live sim-vs-real validation, the pooled
 # preprocessing engines, and the load harness).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/... ./internal/loadgen/...
+	$(GO) test -race ./internal/serve/... ./internal/fleet/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/... ./internal/loadgen/...
 
 # The CI gate: tier-1 tests plus vet and the race suite.
 check: build vet test race
@@ -44,3 +44,18 @@ bench-load:
 		-class realtime:rate=30,items=1,slo=400ms \
 		-class online:rate=20,items=1,slo=800ms \
 		-class offline:workers=1,items=8
+
+# Autoscaler churn scenario: a managed (lease-registered, SLO-driven)
+# Jetson fleet serving ViT_Base under a seeded open-loop load step —
+# 50 req/s stepping 6x to 300 req/s at t=8s, past the ~187 req/s
+# single-replica knee — plus a replica crash at t=16s (no
+# deregistration; the lease TTL-expires). Emits BENCH_PR7.json with the
+# per-second timeline, the autoscaler's decision log (sim predictions
+# vs observed demand) and the registry's membership events.
+bench-fleet:
+	$(GO) run ./cmd/harvest-loadgen -fleet-min 1 -fleet-max 4 \
+		-platform Jetson -model ViT_Base -timescale 1 -name PR7 \
+		-fleet-interval 2s -fleet-slo 250ms -fleet-lease-ttl 1s \
+		-seed 1 -duration 24s -warmup 2s -shape step -peak-mult 6 \
+		-step-at 8s -churn-kill-at 16s -timeline \
+		-class online:rate=50,items=1,slo=800ms

@@ -1,0 +1,142 @@
+// Command harvest-fleet is the serving tier's control plane: a
+// dynamic router whose replica set is lease-managed (replicas register
+// via POST /v2/fleet/register and renew until they deregister or their
+// TTL expires) plus an SLO-driven autoscaler that consults the
+// discrete-event simulation as a capacity oracle before scaling.
+//
+// One listener serves both planes: /v2/fleet/* is the control plane,
+// everything else is the router's data plane (/v2/infer, /v2/metrics,
+// /metrics, /v2/trace).
+//
+// Two modes:
+//
+//   - Advisory (default): replicas are external harvest-serve
+//     processes started with -fleet pointing here. The autoscaler logs
+//     what it *would* do (GET /v2/fleet/status shows decisions), but
+//     only acts on membership through leases.
+//
+//   - Local (-local): the controller launches and retires in-process
+//     replicas itself, bounded by [-min, -max] — a self-contained
+//     autoscaled tier for experiments.
+//
+// Usage:
+//
+//	harvest-fleet [-addr :8200] [-model ViT_Base] [-platform Jetson]
+//	              [-min 1] [-max 4] [-interval 2s] [-slo 100ms]
+//	              [-slo-class online] [-lease-ttl 3s] [-local]
+//	              [-timescale 1.0] [-max-queue-depth 1024]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harvest/internal/fleet"
+	"harvest/internal/hw"
+	"harvest/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("harvest-fleet: ")
+	var (
+		addr     = flag.String("addr", ":8200", "listen address (control plane + routed data plane)")
+		model    = flag.String("model", "ViT_Base", "model whose demand drives autoscaling")
+		platform = flag.String("platform", hw.KeyJetson, "replica platform the oracle prices (and -local launches)")
+		minN     = flag.Int("min", 1, "fleet size floor")
+		maxN     = flag.Int("max", 4, "fleet size ceiling")
+		interval = flag.Duration("interval", 2*time.Second, "autoscaler tick period")
+		slo      = flag.Duration("slo", 100*time.Millisecond, "per-request queue-wait SLO the controller sizes for")
+		sloClass = flag.String("slo-class", "online", "class whose SLO attainment the controller watches")
+		leaseTTL = flag.Duration("lease-ttl", fleet.DefaultTTL, "default replica lease TTL")
+		local    = flag.Bool("local", false, "launch in-process replicas instead of waiting for external registrations")
+
+		// Replica shape for -local launches.
+		timescale = flag.Float64("timescale", 1.0, "local replicas: fraction of modeled latency to really sleep")
+		queueCap  = flag.Int("max-queue-depth", 0, "local replicas: admission queue bound (0 = server default)")
+	)
+	flag.Parse()
+
+	router := serve.NewDynamicRouter(serve.RouterConfig{})
+	defer router.Close()
+	registry := fleet.NewRegistry(router.Pool(), fleet.RegistryConfig{DefaultTTL: *leaseTTL})
+	defer registry.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	selfURL := "http://" + ln.Addr().String()
+
+	var prov fleet.Provisioner
+	var lp *fleet.LocalProvisioner
+	if *local {
+		lp = &fleet.LocalProvisioner{
+			FleetURL:      selfURL,
+			Models:        []string{*model},
+			TimeScale:     *timescale,
+			MaxQueueDepth: *queueCap,
+			TTL:           *leaseTTL,
+			Logf:          log.Printf,
+		}
+		defer lp.Close()
+		prov = lp
+	}
+	ctrl := fleet.NewController(router, registry, prov, fleet.ControllerConfig{
+		Model: *model,
+		Oracle: fleet.OracleConfig{
+			Platforms:   []string{*platform},
+			MaxReplicas: *maxN,
+		},
+		Min:      *minN,
+		Max:      *maxN,
+		Interval: *interval,
+		SLO:      *slo,
+		SLOClass: *sloClass,
+		Logf:     log.Printf,
+	})
+	defer ctrl.Close()
+
+	httpSrv := &http.Server{
+		Handler:           fleet.Handler(registry, ctrl, router.Handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := ctrl.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	mode := "advisory (external replicas register via -fleet)"
+	if *local {
+		mode = "local (in-process replicas)"
+	}
+	log.Printf("control plane on %s: model %s, platform %s, fleet [%d..%d], tick %s, SLO %s/%s, mode %s",
+		selfURL, *model, *platform, *minN, *maxN, *interval, *slo, *sloClass, mode)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	for _, d := range ctrl.Decisions() {
+		log.Printf("decision %s: %s (%d→%d, %.1f rps, attain %.2f)",
+			d.At.Format(time.RFC3339), d.Reason, d.From, d.To, d.ArrivalRPS, d.Attainment)
+	}
+}

@@ -18,6 +18,14 @@
 // With no -target, a self-hosted fleet is stood up in process:
 //
 //	harvest-loadgen -spawn 2 -platform A100 -timescale 0.02 ...
+//
+// With -fleet-max > 0 (and no -target), the self-hosted tier is
+// *managed*: replicas hold leases with an in-process control plane and
+// an SLO-driven autoscaler sizes the fleet off the discrete-event sim,
+// optionally with a mid-run replica crash:
+//
+//	harvest-loadgen -fleet-max 4 -platform Jetson -timescale 1 \
+//	    -shape step -step-at 10s -churn-kill-at 20s -timeline ...
 package main
 
 import (
@@ -52,12 +60,26 @@ func main() {
 		maxInfl  = flag.Int("max-inflight", 4096, "per-class cap on concurrent in-flight requests")
 		drain    = flag.Duration("drain", 10*time.Second, "post-horizon wait for in-flight requests")
 
+		stepAt   = flag.Duration("step-at", 0, "step shape: when the rate jumps to peak-mult × base (default duration/3)")
+		timeline = flag.Bool("timeline", false, "add per-second offered/ok/SLO-met buckets to each class report")
+
 		// Self-hosted fleet knobs (used only when -target is empty).
 		spawn     = flag.Int("spawn", 2, "self-host: replicas behind an in-process router")
 		platform  = flag.String("platform", "A100", "self-host: platform model per replica")
 		timescale = flag.Float64("timescale", 0.02, "self-host: fraction of modeled latency replicas really sleep")
 		queueCap  = flag.Int("max-queue-depth", 0, "self-host: per-model admission queue bound (0 = server default)")
 		preproc   = flag.String("preproc", "", "self-host: encoded-image engine (cpu or cv2) for image=N classes")
+
+		// Managed (autoscaled) self-hosted fleet: -fleet-max > 0 replaces
+		// the fixed -spawn tier with a lease registry + SLO-driven
+		// autoscaler over the same in-process replicas.
+		fleetMin      = flag.Int("fleet-min", 1, "managed fleet: size floor")
+		fleetMax      = flag.Int("fleet-max", 0, "managed fleet: size ceiling; > 0 enables the autoscaled tier")
+		fleetInterval = flag.Duration("fleet-interval", 2*time.Second, "managed fleet: autoscaler tick")
+		fleetSLO      = flag.Duration("fleet-slo", 100*time.Millisecond, "managed fleet: queue-wait SLO the controller sizes for")
+		fleetSLOClass = flag.String("fleet-slo-class", "online", "managed fleet: class whose attainment the controller watches")
+		leaseTTL      = flag.Duration("fleet-lease-ttl", 0, "managed fleet: replica lease TTL (0 = registry default)")
+		churnKillAt   = flag.Duration("churn-kill-at", 0, "managed fleet: kill one replica (crash, no deregistration) this long into the run; 0 disables")
 	)
 	var classes []loadgen.ClassConfig
 	flag.Func("class",
@@ -85,7 +107,43 @@ func main() {
 	defer stop()
 
 	tgt := *target
-	if tgt == "" {
+	var managed *loadgen.ManagedFleet
+	switch {
+	case tgt == "" && *fleetMax > 0:
+		log.Printf("self-hosting a managed fleet: %s replicas in [%d..%d], tick %s, SLO %s/%s (timescale %g)",
+			*platform, *fleetMin, *fleetMax, *fleetInterval, *fleetSLO, *fleetSLOClass, *timescale)
+		var err error
+		managed, err = loadgen.StartManagedFleet(loadgen.ManagedFleetConfig{
+			Model:         *model,
+			Platform:      *platform,
+			Min:           *fleetMin,
+			Max:           *fleetMax,
+			Interval:      *fleetInterval,
+			SLO:           *fleetSLO,
+			SLOClass:      *fleetSLOClass,
+			LeaseTTL:      *leaseTTL,
+			TimeScale:     *timescale,
+			MaxQueueDepth: *queueCap,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer managed.Close()
+		tgt = managed.URL
+		log.Printf("managed fleet ready at %s", tgt)
+		if *churnKillAt > 0 {
+			at := *churnKillAt
+			time.AfterFunc(at, func() {
+				name, err := managed.KillOne()
+				if err != nil {
+					log.Printf("churn: kill at %s: %v", at, err)
+					return
+				}
+				log.Printf("churn: killed replica %s at %s (lease left to expire)", name, at)
+			})
+		}
+	case tgt == "":
 		models := []string{*model}
 		log.Printf("self-hosting %d %s replica(s) behind an in-process router (timescale %g)",
 			*spawn, *platform, *timescale)
@@ -116,6 +174,8 @@ func main() {
 		PeakMult:     *peakMult,
 		Period:       *period,
 		BurstDur:     *burstDur,
+		StepAt:       *stepAt,
+		Timeline:     *timeline,
 		MaxInflight:  *maxInfl,
 		DrainTimeout: *drain,
 		Classes:      classes,
@@ -125,6 +185,15 @@ func main() {
 	report, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if managed != nil {
+		report.Fleet = managed.FleetReport()
+		for _, d := range report.Fleet.Decisions {
+			if d.To != d.From {
+				log.Printf("autoscaler: %s (%d→%d, %.1f rps observed, predicted %.1f img/s at p99 %.0f ms)",
+					d.Reason, d.From, d.To, d.ArrivalRPS, d.PredictedImgPerSec, d.PredictedP99Ms)
+			}
+		}
 	}
 	fmt.Print(report.Summary())
 	path := *out

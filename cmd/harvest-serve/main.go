@@ -13,6 +13,12 @@
 //	              [-read-header-timeout 5s] [-trace-cap 4096]
 //	              [-pprof-addr localhost:6060]
 //	              [-preproc cpu|cv2] [-preproc-workers 0]
+//	              [-fleet http://cp:8200] [-fleet-name edge-1]
+//	              [-fleet-ttl 3s] [-advertise http://10.0.0.5:8000]
+//
+// With -fleet, the replica registers itself with a harvest-fleet
+// control plane and renews its lease until shutdown, where it
+// deregisters with drain before the HTTP server stops.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"harvest/internal/core"
+	"harvest/internal/fleet"
 	"harvest/internal/hw"
 	"harvest/internal/pprofserve"
 	"harvest/internal/serve"
@@ -58,6 +65,14 @@ func main() {
 			"accept encoded images (images_b64) on /v2/infer, preprocessed by this engine: cpu (PyTorch-style) or cv2; empty disables")
 		preprocWorkers = flag.Int("preproc-workers", 0,
 			"decode/resize worker-pool size shared across models (0 = one per CPU)")
+		fleetURL = flag.String("fleet", "",
+			"fleet control plane base URL; the replica self-registers and renews a lease there (empty disables)")
+		fleetName = flag.String("fleet-name", "",
+			"lease name for -fleet registration (default host:port of -advertise)")
+		fleetTTL = flag.Duration("fleet-ttl", 0,
+			"requested lease TTL for -fleet registration (0 = registry default)")
+		advertise = flag.String("advertise", "",
+			"base URL the fleet should route to (default http://127.0.0.1<addr> when -addr has no host)")
 	)
 	flag.Parse()
 
@@ -112,6 +127,45 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	// Self-registration: hold a lease with the fleet control plane for
+	// as long as we serve; on shutdown the agent deregisters with drain
+	// so the router stops routing here before the HTTP drain begins.
+	var agentDone chan struct{}
+	var agentCancel context.CancelFunc
+	if *fleetURL != "" {
+		adv := *advertise
+		if adv == "" {
+			a := *addr
+			if strings.HasPrefix(a, ":") {
+				a = "127.0.0.1" + a
+			}
+			adv = "http://" + a
+		}
+		name := *fleetName
+		if name == "" {
+			name = strings.TrimPrefix(strings.TrimPrefix(adv, "http://"), "https://")
+		}
+		agent := &fleet.Agent{
+			FleetURL: *fleetURL,
+			Name:     name,
+			URL:      adv,
+			Platform: *platform,
+			TTL:      *fleetTTL,
+			Logf:     log.Printf,
+		}
+		var agentCtx context.Context
+		agentCtx, agentCancel = context.WithCancel(context.Background())
+		agentDone = make(chan struct{})
+		go func() {
+			defer close(agentDone)
+			if err := agent.Run(agentCtx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("fleet agent: %v", err)
+			}
+		}()
+		log.Printf("fleet: registering with %s as %q (advertising %s)", *fleetURL, name, adv)
+	}
+
 	select {
 	case err := <-errc:
 		srv.Close()
@@ -119,6 +173,12 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	if agentCancel != nil {
+		// Retire the lease first (deregister + drain) so new traffic
+		// stops arriving while we drain what we have.
+		agentCancel()
+		<-agentDone
+	}
 	log.Printf("shutting down: draining HTTP then the batchers (timeout %s)", *drainTimeout)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
 	defer cancel()

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Agent is a replica's client side of the lease protocol: it registers
+// the replica with the fleet control plane, renews the lease at TTL/3,
+// and deregisters with drain on shutdown. harvest-serve runs one when
+// started with -fleet; the LocalProvisioner runs one per in-process
+// replica it spawns.
+type Agent struct {
+	// FleetURL is the control plane's base URL.
+	FleetURL string
+	// Name is the replica's lease name (must be fleet-unique).
+	Name string
+	// URL is the replica's advertised base URL — where the router will
+	// dispatch to.
+	URL string
+	// Platform is the replica's hw platform key (capacity-oracle
+	// metadata).
+	Platform string
+	// TTL is the requested lease length (0 = the registry default).
+	TTL time.Duration
+	// HTTP is the client used for control-plane calls (nil = a
+	// 5s-timeout default).
+	HTTP *http.Client
+	// Logf, when non-nil, receives agent lifecycle messages.
+	Logf func(format string, args ...any)
+
+	aborted atomic.Bool
+}
+
+// Abort makes the next Run exit skip the shutdown deregistration —
+// the crash-simulation path: renewals just stop and the lease is left
+// to expire by TTL.
+func (a *Agent) Abort() { a.aborted.Store(true) }
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+func (a *Agent) client() *http.Client {
+	if a.HTTP != nil {
+		return a.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (a *Agent) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.FleetURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("fleet: %s: HTTP %d: %s", path, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// register sends one registration/renewal and returns the granted TTL.
+func (a *Agent) register(ctx context.Context) (time.Duration, error) {
+	var resp RegisterResponseJSON
+	err := a.post(ctx, "/v2/fleet/register", RegisterRequestJSON{
+		Name:     a.Name,
+		URL:      a.URL,
+		Platform: a.Platform,
+		TTLMs:    float64(a.TTL) / float64(time.Millisecond),
+	}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.TTLMs * float64(time.Millisecond)), nil
+}
+
+// Run registers the replica (retrying until the control plane
+// answers), renews the lease at a third of its TTL, and deregisters
+// with drain when ctx is cancelled. It returns the shutdown
+// deregistration error, nil on a clean retirement.
+func (a *Agent) Run(ctx context.Context) error {
+	if a.FleetURL == "" || a.Name == "" || a.URL == "" {
+		return fmt.Errorf("fleet: agent needs FleetURL, Name and URL")
+	}
+	backoff := 50 * time.Millisecond
+	var ttl time.Duration
+	for {
+		var err error
+		if ttl, err = a.register(ctx); err == nil {
+			break
+		}
+		a.logf("fleet agent %s: register: %v (retrying in %v)", a.Name, err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+	a.logf("fleet agent %s: registered %s (lease %v)", a.Name, a.URL, ttl)
+	renew := ttl / 3
+	if renew < 50*time.Millisecond {
+		renew = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(renew)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if a.aborted.Load() {
+				return ctx.Err() // crashed, not retired: leave the lease to expire
+			}
+			// Retire gracefully: a drain-aware deregistration on a
+			// fresh context (the run context is already dead).
+			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			err := a.post(dctx, "/v2/fleet/deregister", DeregisterRequestJSON{Name: a.Name, Drain: true}, nil)
+			if err != nil {
+				a.logf("fleet agent %s: deregister: %v", a.Name, err)
+			} else {
+				a.logf("fleet agent %s: deregistered (draining)", a.Name)
+			}
+			return err
+		case <-ticker.C:
+			if granted, err := a.register(ctx); err != nil {
+				a.logf("fleet agent %s: renew: %v", a.Name, err)
+			} else if granted != ttl && granted > 0 {
+				ttl = granted
+				ticker.Reset(max(granted/3, 50*time.Millisecond))
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"harvest/internal/core"
+)
+
+// Provisioner launches and stops replicas on the autoscaler's behalf.
+// Real deployments plug in an implementation that talks to their
+// scheduler (k8s, slurm, a VM API); LocalProvisioner spawns in-process
+// replicas for benchmarks and self-hosted runs.
+type Provisioner interface {
+	// Launch starts one replica of the platform. The replica is
+	// responsible for registering itself with the control plane (the
+	// Agent protocol); Launch returns its base URL once it is starting.
+	Launch(ctx context.Context, platform string) (url string, err error)
+	// Stop retires the replica previously launched at url: deregister
+	// with drain, then tear it down.
+	Stop(ctx context.Context, url string) error
+}
+
+// LocalProvisioner spawns in-process harvest-serve replicas over
+// loopback HTTP — the same mechanism loadgen.StartFleet uses — each
+// with an Agent that self-registers against FleetURL and deregisters
+// (drain-aware) on Stop. It lets `harvest-fleet -local` and `make
+// bench-fleet` autoscale a real serving tier with no external
+// scheduler.
+type LocalProvisioner struct {
+	// FleetURL is the control plane the spawned replicas register with.
+	FleetURL string
+	// Replica shape (see core.DeploymentConfig / loadgen.FleetConfig).
+	Models        []string
+	TimeScale     float64
+	QueueDelay    time.Duration
+	MaxQueueDepth int
+	// TTL is the lease length replicas request (0 = registry default).
+	TTL time.Duration
+	// Logf, when non-nil, receives replica lifecycle messages.
+	Logf func(format string, args ...any)
+
+	mu   sync.Mutex
+	seq  int
+	reps map[string]*localReplica
+}
+
+type localReplica struct {
+	name      string
+	agent     *Agent
+	cancel    context.CancelFunc // stops the agent (it deregisters with drain)
+	agentDone chan struct{}
+	httpSrv   *http.Server
+	deploy    interface{ Close() }
+}
+
+// Launch starts one in-process replica and its registration agent.
+// The pool gains the replica as soon as its agent's registration
+// lands (milliseconds later).
+func (lp *LocalProvisioner) Launch(_ context.Context, platform string) (string, error) {
+	srv, err := core.NewDeployment(core.DeploymentConfig{
+		Platform:      platform,
+		Models:        lp.Models,
+		QueueDelay:    lp.QueueDelay,
+		TimeScale:     lp.TimeScale,
+		MaxQueueDepth: lp.MaxQueueDepth,
+	})
+	if err != nil {
+		return "", fmt.Errorf("fleet: local launch: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	lp.mu.Lock()
+	name := fmt.Sprintf("local-%s-%d", platform, lp.seq)
+	lp.seq++
+	if lp.reps == nil {
+		lp.reps = map[string]*localReplica{}
+	}
+	agentCtx, cancel := context.WithCancel(context.Background())
+	rep := &localReplica{
+		name: name,
+		agent: &Agent{
+			FleetURL: lp.FleetURL,
+			Name:     name,
+			URL:      url,
+			Platform: platform,
+			TTL:      lp.TTL,
+			Logf:     lp.Logf,
+		},
+		cancel:    cancel,
+		agentDone: make(chan struct{}),
+		httpSrv:   httpSrv,
+		deploy:    srv,
+	}
+	lp.reps[url] = rep
+	lp.mu.Unlock()
+
+	go func() {
+		defer close(rep.agentDone)
+		_ = rep.agent.Run(agentCtx)
+	}()
+	return url, nil
+}
+
+// Stop retires the replica at url: the agent deregisters with drain
+// (the registry stops routing to it and waits out in-flight work),
+// then the HTTP server shuts down gracefully and the deployment's
+// batchers drain. Admitted requests never fail.
+func (lp *LocalProvisioner) Stop(ctx context.Context, url string) error {
+	lp.mu.Lock()
+	rep, ok := lp.reps[url]
+	if ok {
+		delete(lp.reps, url)
+	}
+	lp.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: no local replica at %s", url)
+	}
+	rep.cancel()
+	select {
+	case <-rep.agentDone:
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = rep.httpSrv.Shutdown(shutCtx)
+	rep.deploy.Close()
+	return nil
+}
+
+// Kill tears the replica at url down abruptly — no deregistration, no
+// drain, connections reset — simulating a crash. The control plane
+// only learns of it through failed probes and the lease's TTL expiry.
+// Returns the replica's lease name.
+func (lp *LocalProvisioner) Kill(url string) (string, error) {
+	lp.mu.Lock()
+	rep, ok := lp.reps[url]
+	if ok {
+		delete(lp.reps, url)
+	}
+	lp.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("fleet: no local replica at %s", url)
+	}
+	rep.agent.Abort() // die without deregistering; the lease must expire
+	rep.cancel()
+	_ = rep.httpSrv.Close()
+	rep.deploy.Close()
+	return rep.name, nil
+}
+
+// URLs lists the replicas currently owned by the provisioner.
+func (lp *LocalProvisioner) URLs() []string {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	out := make([]string, 0, len(lp.reps))
+	for url := range lp.reps {
+		out = append(out, url)
+	}
+	return out
+}
+
+// Close stops every remaining replica (drain-aware).
+func (lp *LocalProvisioner) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for _, url := range lp.URLs() {
+		_ = lp.Stop(ctx, url)
+	}
+}

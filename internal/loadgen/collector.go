@@ -70,14 +70,60 @@ type classStats struct {
 	// (equal to service for closed-loop classes).
 	service  metrics.LatencyRecorder
 	intended metrics.LatencyRecorder
+	// cells, when non-nil, bucket the whole run (warmup included) by
+	// intended-start second — the per-second timeline an autoscaler's
+	// reaction shows up in. Cells are indexed by run offset.
+	cells []timelineCell
 }
 
-// recordOffered notes one scheduled in-window arrival.
-func (s *classStats) recordOffered() { s.offered.Add(1) }
+// timelineCell is one second of the per-class timeline.
+type timelineCell struct {
+	offered atomic.Int64
+	ok      atomic.Int64
+	sloMet  atomic.Int64
+}
 
-// record notes one in-window completion.
-func (s *classStats) record(serviceSec, intendedSec float64, err error) {
+// cell maps a run offset to its timeline cell (nil when the timeline
+// is off or the offset falls outside the run).
+func (s *classStats) cell(tSec float64) *timelineCell {
+	if s.cells == nil || tSec < 0 {
+		return nil
+	}
+	i := int(tSec)
+	if i >= len(s.cells) {
+		return nil
+	}
+	return &s.cells[i]
+}
+
+// recordOffered notes one scheduled arrival at run offset tSec;
+// inWindow arrivals count toward the report's offered total.
+func (s *classStats) recordOffered(tSec float64, inWindow bool) {
+	if inWindow {
+		s.offered.Add(1)
+	}
+	if c := s.cell(tSec); c != nil {
+		c.offered.Add(1)
+	}
+}
+
+// record notes one completion at run offset tSec. Window counters and
+// latency distributions only accumulate in-window completions; the
+// timeline sees the whole run.
+func (s *classStats) record(serviceSec, intendedSec float64, err error, tSec float64, inWindow bool) {
 	o := classify(err)
+	met := o == outcomeOK && intendedSec*1000 <= s.cfg.SLOMs
+	if c := s.cell(tSec); c != nil {
+		if o == outcomeOK {
+			c.ok.Add(1)
+		}
+		if met {
+			c.sloMet.Add(1)
+		}
+	}
+	if !inWindow {
+		return
+	}
 	s.counts[o].Add(1)
 	if o != outcomeOK {
 		return
@@ -85,7 +131,7 @@ func (s *classStats) record(serviceSec, intendedSec float64, err error) {
 	s.okItems.Add(int64(s.cfg.Items))
 	s.service.Observe(serviceSec)
 	s.intended.Observe(intendedSec)
-	if intendedSec*1000 <= s.cfg.SLOMs {
+	if met {
 		s.sloMet.Add(1)
 	}
 }

@@ -43,6 +43,7 @@ const (
 	ShapeDiurnal  Shape = "diurnal"
 	ShapeBurst    Shape = "burst"
 	ShapeRamp     Shape = "ramp"
+	ShapeStep     Shape = "step"
 )
 
 // ParseShape validates a shape name ("" means constant).
@@ -56,8 +57,10 @@ func ParseShape(s string) (Shape, error) {
 		return ShapeBurst, nil
 	case ShapeRamp:
 		return ShapeRamp, nil
+	case ShapeStep:
+		return ShapeStep, nil
 	}
-	return "", fmt.Errorf("loadgen: unknown rate shape %q (want constant, diurnal, burst or ramp)", s)
+	return "", fmt.Errorf("loadgen: unknown rate shape %q (want constant, diurnal, burst, ramp or step)", s)
 }
 
 // ClassConfig is one traffic class in the mix. Exactly one of Rate
@@ -189,6 +192,14 @@ type Config struct {
 	BurstDur  time.Duration `json:"-"`
 	PeriodSec float64       `json:"period_sec,omitempty"`
 	BurstSec  float64       `json:"burst_sec,omitempty"`
+	// StepAt is when the step shape jumps to PeakMult × base (default
+	// Duration/3, leaving a pre-step baseline and a post-step tail).
+	StepAt    time.Duration `json:"-"`
+	StepAtSec float64       `json:"step_at_sec,omitempty"`
+	// Timeline adds per-second offered/completed/SLO-met buckets to
+	// every class report (whole run, warmup included) — the view that
+	// shows an autoscaler reacting to a load step.
+	Timeline bool `json:"timeline,omitempty"`
 	// MaxInflight caps concurrent in-flight requests per class (open
 	// loop only; slot waits are part of intended-start latency, so the
 	// cap cannot hide queueing). Default 4096.
@@ -234,6 +245,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.BurstDur <= 0 {
 		c.BurstDur = c.Period / 5
 	}
+	if c.StepAt <= 0 || c.StepAt >= c.Duration {
+		c.StepAt = c.Duration / 3
+	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 4096
 	}
@@ -262,6 +276,7 @@ func (c Config) withDefaults() (Config, error) {
 	c.WarmupSec = c.Warmup.Seconds()
 	c.PeriodSec = c.Period.Seconds()
 	c.BurstSec = c.BurstDur.Seconds()
+	c.StepAtSec = c.StepAt.Seconds()
 	return c, nil
 }
 
@@ -327,6 +342,13 @@ func (c Config) rateFn(cc ClassConfig) (workload.RateFn, float64) {
 			peak = base
 		}
 		return workload.RampRate(base, end, horizon), peak
+	case ShapeStep:
+		stepped := base * c.PeakMult
+		peak := stepped
+		if base > peak {
+			peak = base
+		}
+		return workload.StepRate(base, stepped, c.StepAt.Seconds()), peak
 	default:
 		return workload.ConstantRate(base), base
 	}

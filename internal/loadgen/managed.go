@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"harvest/internal/fleet"
+	"harvest/internal/serve"
+)
+
+// ManagedFleetConfig describes a self-hosted *autoscaled* system under
+// test: a dynamic router whose replica set is owned by the fleet
+// control plane (lease registry + SLO-driven controller + local
+// provisioner) instead of a fixed -spawn count. `make bench-fleet`
+// drives one of these through a load step and replica churn.
+type ManagedFleetConfig struct {
+	// Model is the served (and demand-tracked) model.
+	Model string
+	// Platform is the replica platform the controller launches and the
+	// oracle prices (default Jetson — the edge tier the paper scales
+	// out).
+	Platform string
+	// Min/Max bound the fleet size (defaults 1 and 4).
+	Min, Max int
+	// Interval is the autoscaler tick (default 2s).
+	Interval time.Duration
+	// SLO is the per-request queue-wait bound the controller sizes for;
+	// SLOClass the class it watches (defaults 100ms, "online").
+	SLO      time.Duration
+	SLOClass string
+	// LeaseTTL is the replica lease length (default registry default).
+	LeaseTTL time.Duration
+	// Replica shape (see FleetConfig).
+	TimeScale     float64
+	QueueDelay    time.Duration
+	MaxQueueDepth int
+	// Logf, when non-nil, receives control-plane lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// ManagedFleet is a running autoscaled tier.
+type ManagedFleet struct {
+	// URL serves both planes: /v2/fleet/* (control) and everything else
+	// (the router's data plane) — the loadgen target.
+	URL         string
+	Router      *serve.Router
+	Registry    *fleet.Registry
+	Controller  *fleet.Controller
+	Provisioner *fleet.LocalProvisioner
+
+	httpSrv *http.Server
+}
+
+// StartManagedFleet stands the tier up and blocks until the Min-floor
+// replicas hold leases and pass health probes. Callers must Close it.
+func StartManagedFleet(cfg ManagedFleetConfig) (*ManagedFleet, error) {
+	if cfg.Model == "" {
+		return nil, fmt.Errorf("loadgen: managed fleet needs a model")
+	}
+	if cfg.Platform == "" {
+		cfg.Platform = "Jetson"
+	}
+	if cfg.Min <= 0 {
+		cfg.Min = 1
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 4
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = 100 * time.Millisecond
+	}
+
+	router := serve.NewDynamicRouter(serve.RouterConfig{
+		Pool: serve.PoolConfig{ProbeInterval: 20 * time.Millisecond},
+	})
+	registry := fleet.NewRegistry(router.Pool(), fleet.RegistryConfig{DefaultTTL: cfg.LeaseTTL})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		router.Close()
+		registry.Close()
+		return nil, err
+	}
+	url := "http://" + ln.Addr().String()
+
+	prov := &fleet.LocalProvisioner{
+		FleetURL:      url,
+		Models:        []string{cfg.Model},
+		TimeScale:     cfg.TimeScale,
+		QueueDelay:    cfg.QueueDelay,
+		MaxQueueDepth: cfg.MaxQueueDepth,
+		TTL:           cfg.LeaseTTL,
+		Logf:          cfg.Logf,
+	}
+	ctrl := fleet.NewController(router, registry, prov, fleet.ControllerConfig{
+		Model: cfg.Model,
+		Oracle: fleet.OracleConfig{
+			Platforms:   []string{cfg.Platform},
+			MaxReplicas: cfg.Max,
+		},
+		Min:      cfg.Min,
+		Max:      cfg.Max,
+		Interval: cfg.Interval,
+		SLO:      cfg.SLO,
+		SLOClass: cfg.SLOClass,
+		Logf:     cfg.Logf,
+	})
+
+	mf := &ManagedFleet{
+		URL:         url,
+		Router:      router,
+		Registry:    registry,
+		Controller:  ctrl,
+		Provisioner: prov,
+		httpSrv: &http.Server{
+			Handler:           fleet.Handler(registry, ctrl, router.Handler()),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = mf.httpSrv.Serve(ln) }()
+
+	startCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ctrl.Start(startCtx); err != nil {
+		mf.Close()
+		return nil, err
+	}
+	// Ready means the floor replicas registered AND pass probes: a lease
+	// alone does not take traffic.
+	for len(registry.Leases()) < cfg.Min || router.Pool().HealthyCount() < cfg.Min {
+		if startCtx.Err() != nil {
+			mf.Close()
+			return nil, fmt.Errorf("loadgen: managed fleet floor (%d replicas) not ready in 30s", cfg.Min)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return mf, nil
+}
+
+// KillOne abruptly kills one provisioner-owned replica — no
+// deregistration, no drain, connections reset — and returns its lease
+// name. The control plane finds out through probes and TTL expiry.
+func (m *ManagedFleet) KillOne() (string, error) {
+	urls := m.Provisioner.URLs()
+	if len(urls) == 0 {
+		return "", fmt.Errorf("loadgen: no replica to kill")
+	}
+	return m.Provisioner.Kill(urls[len(urls)-1])
+}
+
+// FleetReport snapshots the control plane's decision and event logs.
+func (m *ManagedFleet) FleetReport() *FleetReport {
+	return &FleetReport{
+		Decisions: m.Controller.Decisions(),
+		Events:    m.Registry.Events(),
+	}
+}
+
+// Close tears the tier down: controller first (no further scaling),
+// then the replicas, then the control plane and router.
+func (m *ManagedFleet) Close() {
+	m.Controller.Close()
+	m.Provisioner.Close()
+	m.Registry.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = m.httpSrv.Shutdown(ctx)
+	m.Router.Close()
+}

@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"harvest/internal/fleet"
+	"harvest/internal/models"
+)
+
+// TestManagedFleetStepAndChurn is the control-plane acceptance run in
+// miniature: a seeded open-loop ramp with a load step drives an
+// autoscaled fleet; the controller must scale up off the sim oracle,
+// and a replica killed mid-run (no deregistration — its lease expires)
+// must cause zero failed admitted requests. 429 sheds and 504
+// deadline evictions are designed overload responses, not failures.
+func TestManagedFleetStepAndChurn(t *testing.T) {
+	mf, err := StartManagedFleet(ManagedFleetConfig{
+		Model:     models.NameViTBase,
+		Platform:  "Jetson",
+		Min:       1,
+		Max:       3,
+		Interval:  250 * time.Millisecond,
+		SLO:       150 * time.Millisecond,
+		LeaseTTL:  500 * time.Millisecond,
+		TimeScale: 1,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+
+	// Kill a replica once the autoscaler has grown the fleet past the
+	// floor: the crash path (connection resets + TTL expiry), not a
+	// drain.
+	killed := make(chan string, 1)
+	killCtx, cancelKill := context.WithCancel(context.Background())
+	defer cancelKill()
+	go func() {
+		for killCtx.Err() == nil {
+			if len(mf.Provisioner.URLs()) >= 2 {
+				// Let the newcomer take traffic before the crash.
+				time.Sleep(300 * time.Millisecond)
+				if name, err := mf.KillOne(); err == nil {
+					killed <- name
+				}
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// 80 rps fits one Jetson ViT_Base replica; the 3× step to 240 rps
+	// does not (per-replica knee ≈ 187 img/s), forcing a scale-up.
+	report, err := Run(context.Background(), Config{
+		Target:   mf.URL,
+		Model:    models.NameViTBase,
+		Name:     "managed_test",
+		Seed:     7,
+		Duration: 6 * time.Second,
+		Warmup:   500 * time.Millisecond,
+		Shape:    ShapeStep,
+		PeakMult: 3,
+		StepAt:   1500 * time.Millisecond,
+		Timeline: true,
+		Classes:  []ClassConfig{{Class: "online", Rate: 80, Items: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Fleet = mf.FleetReport()
+
+	tot := report.Total
+	if tot.Server5xx != 0 || tot.OtherHTTP != 0 || tot.Timeouts != 0 || tot.Transport != 0 {
+		t.Fatalf("admitted requests failed under churn: 5xx=%d other=%d timeouts=%d transport=%d",
+			tot.Server5xx, tot.OtherHTTP, tot.Timeouts, tot.Transport)
+	}
+	if tot.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+
+	scaledUp := false
+	for _, d := range report.Fleet.Decisions {
+		if d.To > d.From {
+			scaledUp = true
+		}
+	}
+	if !scaledUp {
+		t.Fatalf("autoscaler never scaled up across the load step; decisions: %+v", report.Fleet.Decisions)
+	}
+
+	select {
+	case name := <-killed:
+		expired := false
+		for _, e := range report.Fleet.Events {
+			if e.Kind == fleet.EventExpire && e.Name == name {
+				expired = true
+			}
+		}
+		if !expired {
+			// The kill may land so late its expiry postdates the run
+			// snapshot; give the sweeper a moment and re-check.
+			time.Sleep(time.Second)
+			for _, e := range mf.Registry.Events() {
+				if e.Kind == fleet.EventExpire && e.Name == name {
+					expired = true
+				}
+			}
+		}
+		if !expired {
+			t.Fatalf("killed replica %s never expired: %+v", name, mf.Registry.Events())
+		}
+	default:
+		t.Fatal("fleet never reached 2 replicas; nothing was killed")
+	}
+
+	if len(report.Classes) != 1 || len(report.Classes[0].Timeline) == 0 {
+		t.Fatal("timeline missing from the class report")
+	}
+	var offered int64
+	for _, b := range report.Classes[0].Timeline {
+		offered += b.Offered
+	}
+	if offered == 0 {
+		t.Fatal("timeline recorded no offered requests")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"harvest/internal/fleet"
 	"harvest/internal/metrics"
 )
 
@@ -75,6 +76,29 @@ type ClassReport struct {
 	// latency (unfinished and errored requests count as misses).
 	SLOMs         float64 `json:"slo_ms"`
 	SLOAttainment float64 `json:"slo_attainment"`
+	// Timeline, when Config.Timeline is set, buckets the whole run
+	// (warmup included) by intended-start second — the view an
+	// autoscaler's load-step reaction shows up in. Per class only; the
+	// run total omits it.
+	Timeline []TimelineBucket `json:"timeline,omitempty"`
+}
+
+// TimelineBucket is one second of a class's run.
+type TimelineBucket struct {
+	TSec    int   `json:"t_sec"`
+	Offered int64 `json:"offered"`
+	OK      int64 `json:"ok"`
+	SLOMet  int64 `json:"slo_met"`
+	// Attainment is SLOMet/Offered for the second (1 when nothing was
+	// offered).
+	Attainment float64 `json:"attainment"`
+}
+
+// FleetReport carries the control plane's side of a managed-fleet run:
+// the autoscaler's decision log and the registry's membership events.
+type FleetReport struct {
+	Decisions []fleet.Decision `json:"decisions,omitempty"`
+	Events    []fleet.Event    `json:"events,omitempty"`
 }
 
 // Report is the machine-readable result of one run: the effective
@@ -90,6 +114,9 @@ type Report struct {
 	// them (latency histograms merged exactly, counters summed).
 	Classes []ClassReport `json:"classes"`
 	Total   ClassReport   `json:"total"`
+	// Fleet, when the target was a managed fleet, records the control
+	// plane's decisions and membership events for the run.
+	Fleet *FleetReport `json:"fleet,omitempty"`
 }
 
 // buildReport assembles the report from per-class collectors.
@@ -145,6 +172,20 @@ func buildReport(cfg Config, cols []*classStats, generatedAt time.Time) *Report 
 		service, intended := cs.service.Snapshot(), cs.intended.Snapshot()
 		cr.ServiceMs = latencyMs(service)
 		cr.IntendedStartMs = latencyMs(intended)
+		for t := range cs.cells {
+			cell := &cs.cells[t]
+			b := TimelineBucket{
+				TSec:       t,
+				Offered:    cell.offered.Load(),
+				OK:         cell.ok.Load(),
+				SLOMet:     cell.sloMet.Load(),
+				Attainment: 1,
+			}
+			if b.Offered > 0 {
+				b.Attainment = float64(b.SLOMet) / float64(b.Offered)
+			}
+			cr.Timeline = append(cr.Timeline, b)
+		}
 		r.Classes = append(r.Classes, cr)
 
 		tot.Offered += cr.Offered

@@ -47,7 +47,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	r := &runner{cfg: cfg, client: client}
 	for _, cc := range cfg.Classes {
-		r.cols = append(r.cols, &classStats{cfg: cc})
+		cs := &classStats{cfg: cc}
+		if cfg.Timeline {
+			cs.cells = make([]timelineCell, int(cfg.Duration.Seconds())+1)
+		}
+		r.cols = append(r.cols, cs)
 		body, err := buildBody(cfg, cc)
 		if err != nil {
 			return nil, err
@@ -167,9 +171,7 @@ func (r *runner) openLoop(genCtx context.Context, i int, cc ClassConfig, rng *st
 			}
 		}
 		inWindow := a.Time >= warmupSec
-		if inWindow {
-			cs.recordOffered()
-		}
+		cs.recordOffered(a.Time, inWindow)
 		r.reqWG.Add(1)
 		go func(intended time.Time, inWindow bool) {
 			defer r.reqWG.Done()
@@ -200,9 +202,7 @@ func (r *runner) closedLoop(genCtx context.Context, i int, cc ClassConfig) {
 				now := time.Now()
 				if off := now.Sub(r.start).Seconds(); off < r.cfg.Duration.Seconds() {
 					inWindow := off >= warmupSec
-					if inWindow {
-						cs.recordOffered()
-					}
+					cs.recordOffered(off, inWindow)
 					r.fire(i, now, inWindow)
 					continue
 				}
@@ -218,8 +218,6 @@ func (r *runner) fire(i int, intended time.Time, inWindow bool) {
 	sent := time.Now()
 	_, err := r.client.Infer(r.reqCtx, r.cfg.Model, r.bodies[i])
 	done := time.Now()
-	if !inWindow {
-		return
-	}
-	r.cols[i].record(done.Sub(sent).Seconds(), done.Sub(intended).Seconds(), err)
+	r.cols[i].record(done.Sub(sent).Seconds(), done.Sub(intended).Seconds(), err,
+		intended.Sub(r.start).Seconds(), inWindow)
 }

@@ -44,7 +44,9 @@ type RouterConfig struct {
 	// 0 means routerBodyLimit (64 MiB); negative disables the cap.
 	MaxBodyBytes int64
 	// MaxAttempts bounds how many replicas one request may try before
-	// failing. 0 means every replica once.
+	// failing. 0 means every replica once (resolved per request, so a
+	// dynamic pool that grows under a fleet controller raises the
+	// bound automatically).
 	MaxAttempts int
 	// DrainTimeout bounds Close's wait for proxied requests still in
 	// flight. 0 means DefaultDrainTimeout; negative means no grace.
@@ -85,9 +87,23 @@ type Router struct {
 // NewRouter builds a router over the given replica base URLs and
 // starts the pool's health loops.
 func NewRouter(urls []string, cfg RouterConfig) (*Router, error) {
-	if cfg.MaxAttempts <= 0 {
-		cfg.MaxAttempts = len(urls)
+	pool, err := NewPool(urls, cfg.Pool)
+	if err != nil {
+		return nil, err
 	}
+	return newRouter(pool, cfg), nil
+}
+
+// NewDynamicRouter builds a router over an initially empty pool whose
+// membership is managed at runtime — the fleet control plane's shape,
+// where replicas register leases instead of being listed up front.
+// Until the first replica registers, requests fail with ErrNoReplicas
+// and readiness reports 503.
+func NewDynamicRouter(cfg RouterConfig) *Router {
+	return newRouter(NewDynamicPool(cfg.Pool), cfg)
+}
+
+func newRouter(pool *Pool, cfg RouterConfig) *Router {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = routerBodyLimit
 	}
@@ -97,15 +113,11 @@ func NewRouter(urls []string, cfg RouterConfig) (*Router, error) {
 	if cfg.TraceCapacity == 0 {
 		cfg.TraceCapacity = DefaultTraceCapacity
 	}
-	pool, err := NewPool(urls, cfg.Pool)
-	if err != nil {
-		return nil, err
-	}
 	r := &Router{cfg: cfg, pool: pool}
 	if cfg.TraceCapacity > 0 {
 		r.trace = trace.NewRing(cfg.TraceCapacity)
 	}
-	return r, nil
+	return r
 }
 
 // Trace returns the router's trace recorder, or nil when disabled.
@@ -172,7 +184,14 @@ func (r *Router) Infer(ctx context.Context, model string, body InferRequestJSON)
 	if err != nil {
 		return nil, err
 	}
-	tried := make(map[*Replica]bool, r.cfg.MaxAttempts)
+	maxAttempts := r.cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		// Every current member once; resolved per request so dynamic
+		// pools (fleet registration) keep full failover coverage as
+		// they grow.
+		maxAttempts = r.pool.Size()
+	}
+	tried := make(map[*Replica]bool, maxAttempts)
 	var lastErr error
 	overloaded := 0
 	var minRetryAfter time.Duration
@@ -189,7 +208,7 @@ func (r *Router) Infer(ctx context.Context, model string, body InferRequestJSON)
 			Args: map[string]any{"model": model, "replica": rep.Name, "outcome": outcome},
 		})
 	}
-	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+	for attempt := 0; attempt < maxAttempts; attempt++ {
 		rep := r.pool.pick(model, class, tried)
 		if rep == nil {
 			break
@@ -296,6 +315,7 @@ type RouterReplicaJSON struct {
 	Name              string `json:"name"`
 	URL               string `json:"url"`
 	Healthy           bool   `json:"healthy"`
+	Draining          bool   `json:"draining,omitempty"`
 	ConsecutiveErrors int    `json:"consecutive_errors"`
 	Ejections         int64  `json:"ejections"`
 	Inflight          int64  `json:"inflight"`
@@ -334,7 +354,7 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 		m := rep.metrics.Load()
 		if rep.Healthy() {
 			if fresh, err := rep.client.Metrics(ctx); err == nil {
-				rep.metrics.Store(fresh)
+				rep.storeMetrics(fresh)
 				m = fresh
 			}
 		}
@@ -397,6 +417,7 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 			Name:              st.Name,
 			URL:               st.URL,
 			Healthy:           st.Healthy,
+			Draining:          st.Draining,
 			ConsecutiveErrors: st.ConsecutiveErrors,
 			Ejections:         st.Ejections,
 			Inflight:          st.Inflight,

@@ -55,6 +55,18 @@ func BurstRate(base, burst, periodSec, burstSec float64) RateFn {
 	}
 }
 
+// StepRate holds base requests/second until atSec, then jumps to
+// stepped and holds it — the load-step shape autoscaler experiments
+// use to measure reaction time. Peak rate is max(base, stepped).
+func StepRate(base, stepped, atSec float64) RateFn {
+	return func(t float64) float64 {
+		if t >= atSec {
+			return stepped
+		}
+		return base
+	}
+}
+
 // RampRate ramps linearly from start to end requests/second over
 // horizonSec (holding end afterwards): the ramp-to-failure sweep shape.
 // Peak rate is max(start, end).
