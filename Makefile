@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-preproc bench-load bench-fleet
+.PHONY: all build test race vet check bench bench-preproc bench-load bench-fleet bench-gemm
 
 all: check
 
@@ -16,15 +16,25 @@ vet:
 # Race-check the concurrency-heavy packages (serving path incl. the
 # replica-pool router, the lock-free metrics recorders, the trace ring
 # buffer, pipeline, the live sim-vs-real validation, the pooled
-# preprocessing engines, and the load harness).
+# preprocessing engines, the load harness, and the compute backend:
+# the goroutine-parallel packed/quantized GEMM kernels and the pooled
+# scratch buffers of the executable models).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/fleet/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/... ./internal/loadgen/...
+	$(GO) test -race ./internal/serve/... ./internal/fleet/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/... ./internal/loadgen/... ./internal/tensor/... ./internal/quant/... ./internal/models/...
 
 # The CI gate: tier-1 tests plus vet and the race suite.
 check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Real compute-backend benchmark: really executes 1024^3 GEMMs at every
+# backend precision (naive fp32 baseline, packed fp32, f16/bf16, int8
+# SWAR) plus end-to-end model forward passes, and records achieved
+# GFLOPS, efficiency vs the measured fp32 roofline, and images/sec by
+# precision into BENCH_PR8.json.
+bench-gemm: build
+	$(GO) run ./cmd/harvest-bench -gemmbench BENCH_PR8.json
 
 # Preprocessing microbenchmarks: fused-vs-naive kernel, pooled-vs-alloc
 # buffers, throughput vs worker count on a 4K raw frame.

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	harvest-bench [-artifact all|table1|...|fig8] [-quick] [-hostgemm]
-//	              [-anchors] [-seed N]
+//	              [-gemmbench out.json] [-anchors] [-seed N]
 package main
 
 import (
@@ -20,14 +20,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("harvest-bench: ")
 	var (
-		artifact = flag.String("artifact", "all", "artifact: all, extensions, table1..table3, fig4..fig8, energy, prediction, scaleout")
-		quick    = flag.Bool("quick", false, "reduce sample counts for a fast run")
-		hostGEMM = flag.Bool("hostgemm", false, "also run a real GEMM benchmark on this machine (table1)")
-		anchors  = flag.Bool("anchors", false, "print paper-vs-measured anchor comparisons and exit")
-		seed     = flag.Uint64("seed", 42, "seed for synthetic data")
-		format   = flag.String("format", "text", "output format: text, csv or chart")
+		artifact  = flag.String("artifact", "all", "artifact: all, extensions, table1..table3, fig4..fig8, energy, prediction, scaleout")
+		quick     = flag.Bool("quick", false, "reduce sample counts for a fast run")
+		hostGEMM  = flag.Bool("hostgemm", false, "also run a real GEMM benchmark on this machine (table1)")
+		gemmBench = flag.String("gemmbench", "", "measure the real compute backend (GEMM GFLOPS and model images/sec by precision), write a JSON report to this path, and exit")
+		anchors   = flag.Bool("anchors", false, "print paper-vs-measured anchor comparisons and exit")
+		seed      = flag.Uint64("seed", 42, "seed for synthetic data")
+		format    = flag.String("format", "text", "output format: text, csv or chart")
 	)
 	flag.Parse()
+
+	if *gemmBench != "" {
+		if err := runGemmBench(*gemmBench); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *anchors {
 		list, err := experiments.CompareAnchors()

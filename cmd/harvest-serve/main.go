@@ -73,6 +73,9 @@ func main() {
 			"requested lease TTL for -fleet registration (0 = registry default)")
 		advertise = flag.String("advertise", "",
 			"base URL the fleet should route to (default http://127.0.0.1<addr> when -addr has no host)")
+		realBackend = flag.String("real", "",
+			"attach an executable compute backend at this precision (fp32, fp16, bf16 or int8): tensor inputs run real forward passes through the packed/quantized GEMM kernels; empty keeps simulation-only serving")
+		realSeed = flag.Uint64("real-seed", 1, "weight-init seed for the -real backend")
 	)
 	flag.Parse()
 
@@ -87,6 +90,8 @@ func main() {
 		TraceCapacity:  *traceCap,
 		Preproc:        *preproc,
 		PreprocWorkers: *preprocWorkers,
+		RealBackend:    *realBackend,
+		RealSeed:       *realSeed,
 	}
 	if *modelsArg != "" {
 		for _, m := range strings.Split(*modelsArg, ",") {
@@ -106,6 +111,9 @@ func main() {
 	}
 	if *preproc != "" {
 		log.Printf("encoded-image preprocessing enabled (%s engine)", *preproc)
+	}
+	if *realBackend != "" {
+		log.Printf("real compute backend attached (%s, seed %d)", *realBackend, *realSeed)
 	}
 	log.Printf("platform %s, serving on %s (JSON metrics at /v2/metrics, Prometheus at /metrics, trace at /v2/trace)",
 		*platform, *addr)

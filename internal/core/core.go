@@ -122,6 +122,16 @@ type DeploymentConfig struct {
 	// models (0 = one worker per CPU). The pool's goroutines live for
 	// the process lifetime. Only meaningful when Preproc is set.
 	PreprocWorkers int
+	// RealBackend, when non-empty, attaches an executable compute
+	// backend at the named precision ("fp32", "fp16", "bf16", "int8")
+	// to every model engine: tensor inputs on POST /v2/infer then run
+	// real forward passes through the packed/quantized GEMM kernels
+	// instead of the simulation-only path. Full-size Table 3 models are
+	// compute-heavy on CPU; pair with Models to limit scope.
+	RealBackend string
+	// RealSeed seeds the real backend's weight initialization
+	// (0 means 1, so deployments are reproducible by default).
+	RealSeed uint64
 }
 
 // newPreprocessor builds the configured CPU preprocessing engine for
@@ -175,6 +185,16 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 			srv.Close()
 			return nil, err
 		}
+		if cfg.RealBackend != "" {
+			seed := cfg.RealSeed
+			if seed == 0 {
+				seed = 1
+			}
+			if err := eng.AttachReal(cfg.RealBackend, seed); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		}
 		mc := serve.ModelConfig{
 			Name:           name,
 			Engine:         eng,
@@ -184,6 +204,9 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 			DrainTimeout:   cfg.DrainTimeout,
 			MaxQueueDepth:  cfg.MaxQueueDepth,
 			RealtimeBudget: cfg.RealtimeBudget,
+		}
+		if cfg.RealBackend != "" {
+			mc.InputSize = eng.Entry.Spec.InputSize
 		}
 		if pool != nil {
 			entry, err := models.ByName(name)

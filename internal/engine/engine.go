@@ -12,12 +12,18 @@ import (
 	"harvest/internal/hw"
 	"harvest/internal/models"
 	"harvest/internal/quant"
+	"harvest/internal/stats"
 	"harvest/internal/tensor"
 )
 
 // ErrOOM is returned when a batch does not fit in device memory,
 // mirroring the out-of-memory boundaries of the paper's Fig. 5/6/8.
 var ErrOOM = errors.New("engine: out of device memory")
+
+// ErrBackend wraps failures (including recovered panics) from the real
+// compute backend, so a malformed model or tensor cannot crash a
+// serving replica and callers can classify the failure.
+var ErrBackend = errors.New("engine: real backend failure")
 
 // InferStats describes one executed batch.
 type InferStats struct {
@@ -99,18 +105,35 @@ func (e *Engine) MaxBatch(cap int) int {
 	return e.Perf.MaxBatch(hw.BatchSweep(e.Platform.Name), e.Pipeline, cap)
 }
 
+// AttachReal builds and attaches an executable compute backend for the
+// engine's model at the given precision ("fp32", "fp16", "bf16",
+// "int8"; empty means fp32), with weights initialized from seed. After
+// this, InferTensors runs real forward passes through the packed
+// (quantized, for int8/f16) GEMM kernels.
+func (e *Engine) AttachReal(precision string, seed uint64) error {
+	f, err := models.NewExecutable(e.Entry.Spec.Name, e.Entry.Spec.NumClasses, precision, stats.NewRNG(seed))
+	if err != nil {
+		return err
+	}
+	e.Real = f
+	return nil
+}
+
 // InferTensors runs a real forward pass through the attached Real
 // backend over a batch of flattened CHW inputs, returning per-image
 // logits. The modeled InferStats for the same batch size accompany the
 // outputs so callers get both function and (modeled) performance.
-func (e *Engine) InferTensors(inputs [][]float32, inputSize int) ([][]float32, InferStats, error) {
+// Panics escaping the backend (shape mismatches deep inside a malformed
+// model) are recovered into ErrBackend-wrapped errors: a bad model must
+// fail the request, never the replica.
+func (e *Engine) InferTensors(inputs [][]float32, inputSize int) (out [][]float32, stats InferStats, err error) {
 	if e.Real == nil {
 		return nil, InferStats{}, fmt.Errorf("engine: no real backend attached to %s", e.Entry.Spec.Name)
 	}
 	if len(inputs) == 0 {
 		return nil, InferStats{}, fmt.Errorf("engine: empty input batch")
 	}
-	stats, err := e.Infer(len(inputs))
+	stats, err = e.Infer(len(inputs))
 	if err != nil {
 		return nil, InferStats{}, err
 	}
@@ -122,12 +145,18 @@ func (e *Engine) InferTensors(inputs [][]float32, inputSize int) ([][]float32, I
 		}
 		copy(x.Data[i*want:(i+1)*want], in)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, stats = nil, InferStats{}
+			err = fmt.Errorf("%w: %s: %v", ErrBackend, e.Entry.Spec.Name, r)
+		}
+	}()
 	logits, err := e.Real.Forward(x)
 	if err != nil {
-		return nil, InferStats{}, err
+		return nil, InferStats{}, fmt.Errorf("%w: %s: %v", ErrBackend, e.Entry.Spec.Name, err)
 	}
 	n := logits.Shape[1]
-	out := make([][]float32, len(inputs))
+	out = make([][]float32, len(inputs))
 	for i := range out {
 		out[i] = append([]float32(nil), logits.Data[i*n:(i+1)*n]...)
 	}

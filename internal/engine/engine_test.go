@@ -8,6 +8,7 @@ import (
 	"harvest/internal/hw"
 	"harvest/internal/models"
 	"harvest/internal/stats"
+	"harvest/internal/tensor"
 )
 
 func TestNewUnknownModel(t *testing.T) {
@@ -236,5 +237,59 @@ func TestSweepRecordsErrors(t *testing.T) {
 				t.Errorf("batch %d has neither stats nor error", r.Batch)
 			}
 		}
+	}
+}
+
+// panicForwarder stands in for a malformed real backend whose forward
+// pass panics deep inside a kernel.
+type panicForwarder struct{}
+
+func (panicForwarder) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	panic(tensor.ErrShape)
+}
+
+func TestInferTensorsRecoversPanic(t *testing.T) {
+	eng, err := New(hw.A100(), models.NameViTTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Real = panicForwarder{}
+	_, _, err = eng.InferTensors([][]float32{make([]float32, 3*32*32)}, 32)
+	if err == nil {
+		t.Fatal("panicking backend returned no error")
+	}
+	if !errors.Is(err, ErrBackend) {
+		t.Fatalf("recovered panic yields %v, want ErrBackend", err)
+	}
+}
+
+func TestAttachReal(t *testing.T) {
+	eng, err := New(hw.A100(), models.NameViTTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AttachReal("int4", 1); err == nil {
+		t.Error("unknown precision accepted")
+	}
+	if eng.Real != nil {
+		t.Fatal("failed AttachReal left a backend attached")
+	}
+	if err := eng.AttachReal("fp32", 1); err != nil {
+		t.Fatal(err)
+	}
+	sz := eng.Entry.Spec.InputSize
+	in := make([]float32, 3*sz*sz)
+	for i := range in {
+		in[i] = float32(i%7)/7 - 0.5
+	}
+	out, st, err := eng.InferTensors([][]float32{in}, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0]) != eng.Entry.Spec.NumClasses {
+		t.Fatalf("got %d outputs of width %d", len(out), len(out[0]))
+	}
+	if st.Batch != 1 {
+		t.Errorf("stats %+v", st)
 	}
 }

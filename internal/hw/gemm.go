@@ -3,6 +3,7 @@ package hw
 import (
 	"time"
 
+	"harvest/internal/quant"
 	"harvest/internal/tensor"
 )
 
@@ -69,4 +70,83 @@ func HostGemmGFLOPS(n int) float64 {
 		return 0
 	}
 	return 2 * float64(n) * float64(n) * float64(n) / elapsed / 1e9
+}
+
+// HostGemmResult is one really-executed GEMM measurement on this host
+// at one storage precision.
+type HostGemmResult struct {
+	Precision string  // "fp32-naive", "fp32", "fp16", "bf16", "int8"
+	GFLOPS    float64 // effective rate: 2*N^3 ops / elapsed
+}
+
+// timeGemm runs f repeatedly until enough wall time accumulates for a
+// stable reading and returns the effective GFLOPS of an NxNxN GEMM.
+func timeGemm(n int, f func()) float64 {
+	const minSec = 0.25
+	iters := 0
+	start := time.Now()
+	for {
+		f()
+		iters++
+		if time.Since(start).Seconds() >= minSec {
+			break
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return 2 * float64(n) * float64(n) * float64(n) * float64(iters) / elapsed / 1e9
+}
+
+// HostGemmSuite really executes NxNxN GEMMs on this machine at every
+// compute-backend precision and returns the achieved effective GFLOPS
+// (always counted as 2*N^3 operations, so rates are comparable across
+// precisions). The naive single-threaded kernel comes first as the
+// baseline; reduced-precision entries time the kernel over pre-encoded
+// operands, matching how the executable models hold their weights.
+func HostGemmSuite(n int) []HostGemmResult {
+	a := tensor.New(n, n)
+	b := tensor.New(n, n)
+	for i := range a.Data {
+		a.Data[i] = float32(i%13)*0.1 - 0.6
+		b.Data[i] = float32(i%7)*0.2 - 0.6
+	}
+	c := make([]float32, n*n)
+	var out []HostGemmResult
+	out = append(out, HostGemmResult{"fp32-naive", timeGemm(n, func() {
+		tensor.MatMulNaive(a, b)
+	})})
+	out = append(out, HostGemmResult{"fp32", timeGemm(n, func() {
+		tensor.GemmInto(c, a.Data, b.Data, n, n, n)
+	})})
+	// Half-precision weights: b held as encoded 16-bit words, dequantized
+	// panel-at-a-time inside the pack step (b row-major == transposed
+	// weight layout for a symmetric operand).
+	f16 := make([]uint16, n*n)
+	bf16 := make([]uint16, n*n)
+	for i, v := range b.Data {
+		f16[i] = uint16(quant.FromFloat32(v))
+		bf16[i] = uint16(quant.BF16FromFloat32(v))
+	}
+	out = append(out, HostGemmResult{"fp16", timeGemm(n, func() {
+		tensor.GemmTransBF16Into(c, a.Data, f16, n, n, n, false)
+	})})
+	out = append(out, HostGemmResult{"bf16", timeGemm(n, func() {
+		tensor.GemmTransBF16Into(c, a.Data, bf16, n, n, n, true)
+	})})
+	// int8: 7-bit SWAR kernel over packed codes (activations asymmetric
+	// uint7, weights symmetric int7), accumulating in integer words.
+	ap, err := quant.CalibrateQ7(a.Data)
+	if err != nil {
+		return out
+	}
+	acodes := make([]uint8, n*n)
+	ap.QuantizeInto(acodes, a.Data)
+	wcodes := make([]int8, n*n)
+	quant.QuantizeQ7SymInto(wcodes, b.Data, quant.CalibrateQ7Sym(b.Data))
+	pa := tensor.PackQ7Acts(acodes, n, n)
+	pw := tensor.PackQ7Weights(wcodes, n, n)
+	ci := make([]int32, n*n)
+	out = append(out, HostGemmResult{"int8", timeGemm(n, func() {
+		tensor.Q7GemmTransB(ci, pa, pw)
+	})})
+	return out
 }

@@ -1,0 +1,404 @@
+package models
+
+import (
+	"fmt"
+	"sync"
+
+	"harvest/internal/quant"
+	"harvest/internal/tensor"
+)
+
+// Executable backend precisions. FP32 runs the packed f32 GEMM
+// directly; FP16/BF16 store weights as 16-bit words dequantized
+// panel-at-a-time inside the GEMM pack step; Int8 runs the SWAR integer
+// kernel over 7-bit codes (symmetric per-output-channel weights,
+// dynamic asymmetric per-row activations) accumulating in int32.
+const (
+	PrecFP32 = "fp32"
+	PrecFP16 = "fp16"
+	PrecBF16 = "bf16"
+	PrecInt8 = "int8"
+)
+
+// ExecPrecisions lists the precisions NewExecutable accepts.
+func ExecPrecisions() []string {
+	return []string{PrecFP32, PrecFP16, PrecBF16, PrecInt8}
+}
+
+// Executor is a real forward-capable model backend. It is structurally
+// identical to engine.Forwarder (models cannot import engine).
+type Executor interface {
+	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// linearOp applies y = x·Wᵀ + bias at some storage precision. The
+// float32 models and their precision wrappers share one forward
+// skeleton parameterized over these ops.
+type linearOp interface {
+	apply(x *tensor.Tensor) *tensor.Tensor
+}
+
+// convOp applies a conv (+ folded BN + optional ReLU) at some storage
+// precision.
+type convOp interface {
+	apply(x *tensor.Tensor) *tensor.Tensor
+}
+
+// denseLinear is the float32 op over the packed GEMM.
+type denseLinear struct{ w, b *tensor.Tensor }
+
+func (l denseLinear) apply(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Linear(x, l.w, l.b)
+}
+
+// halfLinear stores weights as float16/bfloat16 words.
+type halfLinear struct {
+	w       []uint16 // (out × in)
+	bias    []float32
+	out, in int
+	bf16    bool
+}
+
+func newHalfLinear(w, bias *tensor.Tensor, bf16 bool) halfLinear {
+	l := halfLinear{
+		w:    encodeHalf(w.Data, bf16),
+		out:  w.Shape[0],
+		in:   w.Shape[1],
+		bf16: bf16,
+	}
+	if bias != nil {
+		l.bias = bias.Data
+	}
+	return l
+}
+
+func encodeHalf(xs []float32, bf16 bool) []uint16 {
+	out := make([]uint16, len(xs))
+	for i, v := range xs {
+		if bf16 {
+			out[i] = uint16(quant.BF16FromFloat32(v))
+		} else {
+			out[i] = uint16(quant.FromFloat32(v))
+		}
+	}
+	return out
+}
+
+func (l halfLinear) apply(x *tensor.Tensor) *tensor.Tensor {
+	m := x.Shape[0]
+	y := tensor.New(m, l.out)
+	tensor.GemmTransBF16Into(y.Data, x.Data, l.w, m, l.out, l.in, l.bf16)
+	addBiasRows(y.Data, l.bias, m, l.out)
+	return y
+}
+
+func addBiasRows(y, bias []float32, m, n int) {
+	if bias == nil {
+		return
+	}
+	for i := 0; i < m; i++ {
+		row := y[i*n : i*n+n]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// q7Linear holds symmetric per-output-channel 7-bit weights packed for
+// the SWAR kernel; activations are quantized dynamically per row.
+type q7Linear struct {
+	packed  *tensor.PackedQ7
+	scales  []float32 // per output channel
+	bias    []float32
+	out, in int
+}
+
+func newQ7Linear(w, bias *tensor.Tensor) q7Linear {
+	out, in := w.Shape[0], w.Shape[1]
+	l := q7Linear{
+		scales: make([]float32, out),
+		out:    out,
+		in:     in,
+	}
+	codes := make([]int8, out*in)
+	for oc := 0; oc < out; oc++ {
+		row := w.Data[oc*in : oc*in+in]
+		s := quant.CalibrateQ7Sym(row)
+		l.scales[oc] = s
+		quant.QuantizeQ7SymInto(codes[oc*in:oc*in+in], row, s)
+	}
+	l.packed = tensor.PackQ7Weights(codes, out, in)
+	if bias != nil {
+		l.bias = bias.Data
+	}
+	return l
+}
+
+func (l q7Linear) apply(x *tensor.Tensor) *tensor.Tensor {
+	m := x.Shape[0]
+	y := tensor.New(m, l.out)
+	sc := getExecScratch()
+	q7Forward(y.Data, x.Data, m, l.in, l.packed, l.scales, l.bias, sc)
+	putExecScratch(sc)
+	return y
+}
+
+// execScratch pools the per-call working set of the quantized and
+// half-precision paths (codes, int32 accumulators, packed activations,
+// im2col panels) so steady-state forwards do not allocate per layer.
+type execScratch struct {
+	codes []uint8
+	i32   []int32
+	f32   []float32
+	f32b  []float32
+	acts  tensor.PackedQ7
+}
+
+var execScratchPool = sync.Pool{New: func() any { return &execScratch{} }}
+
+func getExecScratch() *execScratch  { return execScratchPool.Get().(*execScratch) }
+func putExecScratch(s *execScratch) { execScratchPool.Put(s) }
+
+func growU8(buf *[]uint8, n int) []uint8 {
+	if cap(*buf) < n {
+		*buf = make([]uint8, n)
+	}
+	return (*buf)[:n]
+}
+
+func growI32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	return (*buf)[:n]
+}
+
+func growF32(buf *[]float32, n int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	return (*buf)[:n]
+}
+
+// q7Forward computes out(m×n) = x(m×k)·Wᵀ + bias through the integer
+// pipeline: per-row asymmetric 7-bit activation quantization, exact
+// int32 SWAR GEMM, then dequantization with the zero-point correction
+// sa·sw·(Σqa·qw − za·Σqw).
+func q7Forward(out, x []float32, m, k int, w *tensor.PackedQ7, scales, bias []float32, sc *execScratch) {
+	n := w.Rows
+	codes := growU8(&sc.codes, m*k)
+	rowParams := growF32(&sc.f32, 2*m) // interleaved scale, zero-point
+	for i := 0; i < m; i++ {
+		row := x[i*k : i*k+k]
+		p, err := quant.CalibrateQ7(row)
+		if err != nil {
+			panic(fmt.Errorf("models: activation calibration: %w", err))
+		}
+		p.QuantizeInto(codes[i*k:i*k+k], row)
+		rowParams[2*i] = p.Scale
+		rowParams[2*i+1] = float32(p.ZeroPoint)
+	}
+	tensor.PackQ7ActsInto(&sc.acts, codes, m, k)
+	raw := growI32(&sc.i32, m*n)
+	tensor.Q7GemmTransB(raw, &sc.acts, w)
+	for i := 0; i < m; i++ {
+		sa, za := rowParams[2*i], rowParams[2*i+1]
+		src := raw[i*n : i*n+n]
+		dst := out[i*n : i*n+n]
+		for j := range dst {
+			v := sa * scales[j] * (float32(src[j]) - za*float32(w.RowSum[j]))
+			if bias != nil {
+				v += bias[j]
+			}
+			dst[j] = v
+		}
+	}
+}
+
+// bnApply holds the BN-after-conv epilogue shared by the reduced-
+// precision conv ops.
+type convEpilogue struct {
+	bnMean, bnVar, bnG, bnB []float32
+	act                     bool
+}
+
+func (e *convEpilogue) run(y *tensor.Tensor) {
+	tensor.BatchNormInference(y, e.bnMean, e.bnVar, e.bnG, e.bnB, 1e-5)
+	if e.act {
+		tensor.ReLU(y)
+	}
+}
+
+// convGeom carries the shared geometry of the reduced-precision conv
+// ops, which run im2col transposed (one receptive field per row) so the
+// GEMM sees contiguous k-vectors on both sides.
+type convGeom struct {
+	outC, inC, k, stride, pad int
+}
+
+func (g *convGeom) outSize(x *tensor.Tensor) (oh, ow int) {
+	oh = (x.Shape[2]+2*g.pad-g.k)/g.stride + 1
+	ow = (x.Shape[3]+2*g.pad-g.k)/g.stride + 1
+	if x.Shape[1] != g.inC {
+		panic(fmt.Errorf("models: conv got %d input channels, want %d: %w", x.Shape[1], g.inC, tensor.ErrShape))
+	}
+	return oh, ow
+}
+
+// scatterConvOut transposes the (ohow × outC) GEMM output into the NCHW
+// plane of image b.
+func scatterConvOut(out *tensor.Tensor, yT []float32, b, outC, oh, ow int) {
+	plane := oh * ow
+	for oc := 0; oc < outC; oc++ {
+		dst := out.Data[(b*outC+oc)*plane : (b*outC+oc+1)*plane]
+		for p := 0; p < plane; p++ {
+			dst[p] = yT[p*outC+oc]
+		}
+	}
+}
+
+// halfConv is a conv with float16/bfloat16 weights.
+type halfConv struct {
+	convGeom
+	w    []uint16 // (outC × inC·k·k)
+	bf16 bool
+	epi  convEpilogue
+}
+
+func (c *halfConv) apply(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Shape[0]
+	oh, ow := c.outSize(x)
+	ckk := c.inC * c.k * c.k
+	out := tensor.New(n, c.outC, oh, ow)
+	sc := getExecScratch()
+	cols := growF32(&sc.f32, oh*ow*ckk)
+	yT := growF32(&sc.f32b, oh*ow*c.outC)
+	for b := 0; b < n; b++ {
+		tensor.Im2ColTransInto(cols, x, b, c.k, c.k, c.stride, c.pad, oh, ow)
+		for i := range yT {
+			yT[i] = 0
+		}
+		tensor.GemmTransBF16Into(yT, cols, c.w, oh*ow, c.outC, ckk, c.bf16)
+		scatterConvOut(out, yT, b, c.outC, oh, ow)
+	}
+	putExecScratch(sc)
+	c.epi.run(out)
+	return out
+}
+
+// q7Conv is a conv with symmetric per-output-channel 7-bit weights.
+type q7Conv struct {
+	convGeom
+	packed *tensor.PackedQ7 // (outC × inC·k·k)
+	scales []float32
+	epi    convEpilogue
+}
+
+func (c *q7Conv) apply(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Shape[0]
+	oh, ow := c.outSize(x)
+	ckk := c.inC * c.k * c.k
+	out := tensor.New(n, c.outC, oh, ow)
+	sc := getExecScratch()
+	cols := growF32(&sc.f32b, oh*ow*ckk)
+	// q7Forward owns sc.f32/codes/i32; yT must not alias them.
+	yT := make([]float32, oh*ow*c.outC)
+	for b := 0; b < n; b++ {
+		tensor.Im2ColTransInto(cols, x, b, c.k, c.k, c.stride, c.pad, oh, ow)
+		q7Forward(yT, cols, oh*ow, ckk, c.packed, c.scales, nil, sc)
+		scatterConvOut(out, yT, b, c.outC, oh, ow)
+	}
+	putExecScratch(sc)
+	c.epi.run(out)
+	return out
+}
+
+// newLinearOp builds the linear op for one weight/bias pair at the
+// requested precision.
+func newLinearOp(w, b *tensor.Tensor, precision string) (linearOp, error) {
+	switch precision {
+	case PrecFP32:
+		return denseLinear{w: w, b: b}, nil
+	case PrecFP16:
+		return newHalfLinear(w, b, false), nil
+	case PrecBF16:
+		return newHalfLinear(w, b, true), nil
+	case PrecInt8:
+		return newQ7Linear(w, b), nil
+	}
+	return nil, fmt.Errorf("models: unknown precision %q (want one of %v)", precision, ExecPrecisions())
+}
+
+// newConvOp builds the conv op for one resnetConv at the requested
+// precision, sharing the conv's BN statistics.
+func newConvOp(rc *resnetConv, precision string) (convOp, error) {
+	if precision == PrecFP32 {
+		return rc, nil
+	}
+	outC, inC, k := rc.w.Shape[0], rc.w.Shape[1], rc.w.Shape[2]
+	geom := convGeom{outC: outC, inC: inC, k: k, stride: rc.stride, pad: rc.pad}
+	epi := convEpilogue{bnMean: rc.bnMean, bnVar: rc.bnVar, bnG: rc.bnG, bnB: rc.bnB, act: rc.activateOn}
+	ckk := inC * k * k
+	switch precision {
+	case PrecFP16, PrecBF16:
+		return &halfConv{convGeom: geom, w: encodeHalf(rc.w.Data, precision == PrecBF16), bf16: precision == PrecBF16, epi: epi}, nil
+	case PrecInt8:
+		c := &q7Conv{convGeom: geom, scales: make([]float32, outC), epi: epi}
+		codes := make([]int8, outC*ckk)
+		for oc := 0; oc < outC; oc++ {
+			row := rc.w.Data[oc*ckk : oc*ckk+ckk]
+			s := quant.CalibrateQ7Sym(row)
+			c.scales[oc] = s
+			quant.QuantizeQ7SymInto(codes[oc*ckk:oc*ckk+ckk], row, s)
+		}
+		c.packed = tensor.PackQ7Weights(codes, outC, ckk)
+		return c, nil
+	}
+	return nil, fmt.Errorf("models: unknown precision %q (want one of %v)", precision, ExecPrecisions())
+}
+
+// NewExecutable builds a real forward-capable backend for the named
+// model at the given precision. Known names are the four Table 3 models
+// plus the test-scale "ViT_Micro" and "ResNet_Mini"; weights are
+// initialized from r. Precision "" defaults to fp32.
+func NewExecutable(name string, numClasses int, precision string, r tensor.Rand64) (Executor, error) {
+	if precision == "" {
+		precision = PrecFP32
+	}
+	switch name {
+	case NameViTTiny, NameViTSmall, NameViTBase, "ViT_Micro":
+		var cfg ViTConfig
+		switch name {
+		case NameViTTiny:
+			cfg = ViTTinyConfig(numClasses)
+		case NameViTSmall:
+			cfg = ViTSmallConfig(numClasses)
+		case NameViTBase:
+			cfg = ViTBaseConfig(numClasses)
+		default:
+			cfg = MicroViTConfig(numClasses)
+		}
+		m, err := NewViTModel(cfg, r)
+		if err != nil {
+			return nil, err
+		}
+		if precision == PrecFP32 {
+			return m, nil
+		}
+		return NewPrecisionViT(m, precision)
+	case NameResNet50, "ResNet_Mini":
+		cfg := ResNet50Config(numClasses)
+		if name == "ResNet_Mini" {
+			cfg = MiniResNetConfig(numClasses)
+		}
+		m, err := NewResNetModel(cfg, r)
+		if err != nil {
+			return nil, err
+		}
+		if precision == PrecFP32 {
+			return m, nil
+		}
+		return NewPrecisionResNet(m, precision)
+	}
+	return nil, fmt.Errorf("models: no executable backend for model %q", name)
+}

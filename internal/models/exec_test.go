@@ -1,0 +1,153 @@
+package models
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"harvest/internal/stats"
+	"harvest/internal/tensor"
+)
+
+func execInput(t *testing.T, name string, batch int) *tensor.Tensor {
+	t.Helper()
+	sz := 32
+	if name == "ResNet_Mini" {
+		sz = 64
+	}
+	x := tensor.New(batch, 3, sz, sz)
+	x.RandInit(stats.NewRNG(99), 1)
+	return x
+}
+
+// logitRange returns max-min over all logits, the natural scale for
+// bounding quantization-induced deltas.
+func logitRange(y *tensor.Tensor) float64 {
+	lo, hi := y.Data[0], y.Data[0]
+	for _, v := range y.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return float64(hi - lo)
+}
+
+// TestPrecisionBackendsCloseToFP32 runs every reduced-precision backend
+// on the micro models and bounds the logit delta against the fp32
+// reference, relative to the logit range. fp16/bf16 only round weight
+// storage; int8 additionally quantizes activations, so it gets the
+// loosest (but still small) bound.
+func TestPrecisionBackendsCloseToFP32(t *testing.T) {
+	bounds := map[string]float64{PrecFP16: 0.01, PrecBF16: 0.05, PrecInt8: 0.15}
+	for _, name := range []string{"ViT_Micro", "ResNet_Mini"} {
+		base, err := NewExecutable(name, 10, PrecFP32, stats.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := execInput(t, name, 2)
+		want, err := base.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := logitRange(want)
+		if scale == 0 {
+			t.Fatalf("%s: degenerate fp32 logits", name)
+		}
+		for prec, bound := range bounds {
+			m, err := NewExecutable(name, 10, prec, stats.NewRNG(1))
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, prec, err)
+			}
+			got, err := m.Forward(x)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, prec, err)
+			}
+			if d := tensor.MaxAbsDiff(got, want) / scale; d > bound || math.IsNaN(d) {
+				t.Errorf("%s %s: relative logit delta %.4f exceeds %.4f", name, prec, d, bound)
+			}
+		}
+	}
+}
+
+func TestNewExecutableErrors(t *testing.T) {
+	if _, err := NewExecutable("NoSuchModel", 10, PrecFP32, stats.NewRNG(1)); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := NewExecutable("ViT_Micro", 10, "int4", stats.NewRNG(1)); err == nil {
+		t.Error("unknown precision accepted")
+	}
+}
+
+func TestPrecisionBadInputShape(t *testing.T) {
+	for _, prec := range ExecPrecisions() {
+		m, err := NewExecutable("ViT_Micro", 10, prec, stats.NewRNG(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Forward(tensor.New(1, 3, 16, 16)); !errors.Is(err, tensor.ErrShape) {
+			t.Errorf("%s: wrong-shape input returned %v, want ErrShape", prec, err)
+		}
+	}
+}
+
+// TestLoadTensorsShapeChecked is the regression test for assignTensor
+// accepting any same-length tensor: a transposed weight must now be
+// rejected at load time with a typed shape error.
+func TestLoadTensorsShapeChecked(t *testing.T) {
+	m, err := NewViTModel(MicroViTConfig(10), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := map[string]*tensor.Tensor{}
+	for _, nt := range m.NamedTensors() {
+		lookup[nt.Name] = nt.Tensor.Clone()
+	}
+	// Same element count, transposed shape: patchW is (d x 3p²).
+	w := lookup["patch_embed.weight"]
+	lookup["patch_embed.weight"] = w.Reshape(w.Shape[1], w.Shape[0])
+	err = m.LoadTensors(lookup)
+	if err == nil {
+		t.Fatal("transposed weight accepted by LoadTensors")
+	}
+	if !errors.Is(err, tensor.ErrShape) {
+		t.Fatalf("shape mismatch error %v is not typed as tensor.ErrShape", err)
+	}
+}
+
+// TestViTBaseInt8LogitsDelta is the end-to-end accuracy bound on the
+// full-size ViT_Base: int8 logits must stay within a small fraction of
+// the fp32 logit range. ~17 GMACs under fp32 plus the int8 pass; kept
+// out of -short and race runs.
+func TestViTBaseInt8LogitsDelta(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("full-size ViT_Base forward is too heavy for -short/race runs")
+	}
+	base, err := NewExecutable(NameViTBase, 1000, PrecFP32, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 3, 224, 224)
+	x.RandInit(stats.NewRNG(99), 1)
+	want, err := base.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewExecutable(NameViTBase, 1000, PrecInt8, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := logitRange(want)
+	if scale == 0 {
+		t.Fatal("degenerate fp32 logits")
+	}
+	if d := tensor.MaxAbsDiff(got, want) / scale; d > 0.15 {
+		t.Errorf("ViT_Base int8 relative logit delta %.4f exceeds 0.15", d)
+	}
+}

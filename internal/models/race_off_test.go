@@ -1,0 +1,5 @@
+//go:build !race
+
+package models
+
+const raceEnabled = false

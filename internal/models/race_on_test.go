@@ -1,0 +1,9 @@
+//go:build race
+
+package models
+
+// raceEnabled reports whether the race detector is compiled in; the
+// full-size ViT_Base int8 end-to-end test skips under it (a 17 GMAC
+// forward pass with 10-20x race instrumentation would dominate the
+// race gate).
+const raceEnabled = true

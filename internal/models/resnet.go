@@ -207,16 +207,94 @@ func NewResNetModel(c ResNetConfig, r tensor.Rand64) (*ResNetModel, error) {
 	return m, nil
 }
 
+// resnetExec is the op table one ResNet forward pass routes through;
+// the float32 model and its precision wrappers share the skeleton and
+// differ only here. Pooling, residual adds and ReLU always run in
+// float32.
+type resnetExec struct {
+	stem   convOp
+	blocks []resnetBlockExec
+	fc     linearOp
+}
+
+type resnetBlockExec struct {
+	conv1, conv2, conv3 convOp
+	down                convOp // nil when identity shortcut
+}
+
+// denseExec builds the float32 op table over the model's live weights.
+func (m *ResNetModel) denseExec() *resnetExec {
+	e := &resnetExec{stem: m.stem, fc: denseLinear{w: m.fcW, b: m.fcB}}
+	for _, blk := range m.blocks {
+		be := resnetBlockExec{conv1: blk.conv1, conv2: blk.conv2, conv3: blk.conv3}
+		if blk.down != nil {
+			be.down = blk.down
+		}
+		e.blocks = append(e.blocks, be)
+	}
+	return e
+}
+
+// PrecisionResNet wraps a ResNetModel with reduced-precision conv and
+// linear layers. BN statistics and the residual arithmetic stay
+// float32.
+type PrecisionResNet struct {
+	Base      *ResNetModel
+	Precision string
+	exec      *resnetExec
+}
+
+// NewPrecisionResNet converts the model's conv/linear weights to the
+// requested precision; the base model's float32 weights are untouched.
+func NewPrecisionResNet(m *ResNetModel, precision string) (*PrecisionResNet, error) {
+	e := &resnetExec{}
+	var err error
+	if e.stem, err = newConvOp(m.stem, precision); err != nil {
+		return nil, err
+	}
+	if e.fc, err = newLinearOp(m.fcW, m.fcB, precision); err != nil {
+		return nil, err
+	}
+	for _, blk := range m.blocks {
+		var be resnetBlockExec
+		if be.conv1, err = newConvOp(blk.conv1, precision); err != nil {
+			return nil, err
+		}
+		if be.conv2, err = newConvOp(blk.conv2, precision); err != nil {
+			return nil, err
+		}
+		if be.conv3, err = newConvOp(blk.conv3, precision); err != nil {
+			return nil, err
+		}
+		if blk.down != nil {
+			if be.down, err = newConvOp(blk.down, precision); err != nil {
+				return nil, err
+			}
+		}
+		e.blocks = append(e.blocks, be)
+	}
+	return &PrecisionResNet{Base: m, Precision: precision, exec: e}, nil
+}
+
+// Forward runs the wrapped model through the reduced-precision ops.
+func (p *PrecisionResNet) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return p.Base.forward(p.exec, x)
+}
+
 // Forward runs a real forward pass over (B,3,S,S) and returns logits
 // (B x classes).
 func (m *ResNetModel) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.forward(m.denseExec(), x)
+}
+
+func (m *ResNetModel) forward(e *resnetExec, x *tensor.Tensor) (*tensor.Tensor, error) {
 	c := m.Config
 	if len(x.Shape) != 4 || x.Shape[1] != 3 || x.Shape[2] != c.InputSize || x.Shape[3] != c.InputSize {
-		return nil, fmt.Errorf("models: ResNet %s expects (B,3,%d,%d), got %v", c.Name, c.InputSize, c.InputSize, x.Shape)
+		return nil, fmt.Errorf("models: ResNet %s expects (B,3,%d,%d), got %v: %w", c.Name, c.InputSize, c.InputSize, x.Shape, tensor.ErrShape)
 	}
-	h := m.stem.apply(x)
+	h := e.stem.apply(x)
 	h = tensor.MaxPool2D(h, 3, 2, 1)
-	for _, blk := range m.blocks {
+	for _, blk := range e.blocks {
 		identity := h
 		out := blk.conv1.apply(h)
 		out = blk.conv2.apply(out)
@@ -229,5 +307,5 @@ func (m *ResNetModel) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		h = out
 	}
 	pooled := tensor.GlobalAvgPool2D(h) // (B x width)
-	return tensor.Linear(pooled, m.fcW, m.fcB), nil
+	return e.fc.apply(pooled), nil
 }

@@ -108,6 +108,84 @@ type ViTModel struct {
 	headW, headB   *tensor.Tensor // (classes x d)
 }
 
+// vitExec is the set of linear ops one forward pass routes through; the
+// float32 model and its precision wrappers share the forward skeleton
+// and differ only in this table. Norms, attention matmuls, residuals
+// and activations always run in float32.
+type vitExec struct {
+	patch, head linearOp
+	blocks      []vitBlockExec
+}
+
+type vitBlockExec struct {
+	qkv, proj, fc1, fc2 linearOp
+}
+
+// denseExec builds the float32 op table over the model's live weight
+// tensors. It is rebuilt per call site cheaply (ops are just pointer
+// pairs), so weights loaded in place are always current.
+func (m *ViTModel) denseExec() *vitExec {
+	e := &vitExec{
+		patch: denseLinear{w: m.patchW, b: m.patchB},
+		head:  denseLinear{w: m.headW, b: m.headB},
+	}
+	for i := range m.blocks {
+		blk := &m.blocks[i]
+		e.blocks = append(e.blocks, vitBlockExec{
+			qkv:  denseLinear{w: blk.qkvW, b: blk.qkvB},
+			proj: denseLinear{w: blk.projW, b: blk.projB},
+			fc1:  denseLinear{w: blk.fc1W, b: blk.fc1B},
+			fc2:  denseLinear{w: blk.fc2W, b: blk.fc2B},
+		})
+	}
+	return e
+}
+
+// PrecisionViT wraps a ViTModel with reduced-precision linear layers
+// (fp16/bf16 storage or int8 SWAR compute). The wrapped model supplies
+// the float32-resident parameters (norms, embeddings).
+type PrecisionViT struct {
+	Base      *ViTModel
+	Precision string
+	exec      *vitExec
+}
+
+// NewPrecisionViT converts the model's linear weights to the requested
+// precision. The base model's float32 weights are left untouched.
+func NewPrecisionViT(m *ViTModel, precision string) (*PrecisionViT, error) {
+	e := &vitExec{}
+	var err error
+	if e.patch, err = newLinearOp(m.patchW, m.patchB, precision); err != nil {
+		return nil, err
+	}
+	if e.head, err = newLinearOp(m.headW, m.headB, precision); err != nil {
+		return nil, err
+	}
+	for i := range m.blocks {
+		blk := &m.blocks[i]
+		var be vitBlockExec
+		if be.qkv, err = newLinearOp(blk.qkvW, blk.qkvB, precision); err != nil {
+			return nil, err
+		}
+		if be.proj, err = newLinearOp(blk.projW, blk.projB, precision); err != nil {
+			return nil, err
+		}
+		if be.fc1, err = newLinearOp(blk.fc1W, blk.fc1B, precision); err != nil {
+			return nil, err
+		}
+		if be.fc2, err = newLinearOp(blk.fc2W, blk.fc2B, precision); err != nil {
+			return nil, err
+		}
+		e.blocks = append(e.blocks, be)
+	}
+	return &PrecisionViT{Base: m, Precision: precision, exec: e}, nil
+}
+
+// Forward runs the wrapped model through the reduced-precision ops.
+func (p *PrecisionViT) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return p.Base.forward(p.exec, x)
+}
+
 // NewViTModel allocates a ViT with weights initialized from r.
 func NewViTModel(c ViTConfig, r tensor.Rand64) (*ViTModel, error) {
 	if err := c.Validate(); err != nil {
@@ -156,20 +234,24 @@ func NewViTModel(c ViTConfig, r tensor.Rand64) (*ViTModel, error) {
 // Forward runs a real forward pass over a batch of CHW images
 // (batch x 3 x S x S) and returns logits (batch x classes).
 func (m *ViTModel) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.forward(m.denseExec(), x)
+}
+
+func (m *ViTModel) forward(e *vitExec, x *tensor.Tensor) (*tensor.Tensor, error) {
 	c := m.Config
 	if len(x.Shape) != 4 || x.Shape[1] != 3 || x.Shape[2] != c.InputSize || x.Shape[3] != c.InputSize {
-		return nil, fmt.Errorf("models: ViT %s expects (B,3,%d,%d), got %v", c.Name, c.InputSize, c.InputSize, x.Shape)
+		return nil, fmt.Errorf("models: ViT %s expects (B,3,%d,%d), got %v: %w", c.Name, c.InputSize, c.InputSize, x.Shape, tensor.ErrShape)
 	}
 	batch := x.Shape[0]
 	out := tensor.New(batch, c.NumClasses)
 	for b := 0; b < batch; b++ {
-		logits := m.forwardOne(x, b)
+		logits := m.forwardOne(e, x, b)
 		copy(out.Data[b*c.NumClasses:(b+1)*c.NumClasses], logits.Data)
 	}
 	return out, nil
 }
 
-func (m *ViTModel) forwardOne(x *tensor.Tensor, b int) *tensor.Tensor {
+func (m *ViTModel) forwardOne(e *vitExec, x *tensor.Tensor, b int) *tensor.Tensor {
 	c := m.Config
 	d := c.Dim
 	p := c.PatchSize
@@ -196,18 +278,20 @@ func (m *ViTModel) forwardOne(x *tensor.Tensor, b int) *tensor.Tensor {
 		}
 	}
 	// Token sequence with class token + position embedding.
-	embedded := tensor.Linear(patches, m.patchW, m.patchB) // (nPatch x d)
+	embedded := e.patch.apply(patches) // (nPatch x d)
 	tokens := tensor.New(n, d)
 	copy(tokens.Data[:d], m.clsToken.Data)
 	copy(tokens.Data[d:], embedded.Data)
 	tensor.AddInPlace(tokens, m.posEmbed)
 
 	headDim := d / c.Heads
-	for _, blk := range m.blocks {
+	for bi := range m.blocks {
+		blk := &m.blocks[bi]
+		ops := &e.blocks[bi]
 		// Attention sub-block with pre-norm and residual.
 		normed := tokens.Clone()
 		tensor.LayerNorm(normed, blk.norm1G, blk.norm1B, 1e-6)
-		qkv := tensor.Linear(normed, blk.qkvW, blk.qkvB) // (n x 3d)
+		qkv := ops.qkv.apply(normed) // (n x 3d)
 		attnOut := tensor.New(n, d)
 		for h := 0; h < c.Heads; h++ {
 			q := tensor.New(n, headDim)
@@ -224,19 +308,19 @@ func (m *ViTModel) forwardOne(x *tensor.Tensor, b int) *tensor.Tensor {
 				copy(attnOut.Data[t*d+h*headDim:t*d+(h+1)*headDim], o.Data[t*headDim:(t+1)*headDim])
 			}
 		}
-		proj := tensor.Linear(attnOut, blk.projW, blk.projB)
+		proj := ops.proj.apply(attnOut)
 		tensor.AddInPlace(tokens, proj)
 
 		// MLP sub-block with pre-norm and residual.
 		normed = tokens.Clone()
 		tensor.LayerNorm(normed, blk.norm2G, blk.norm2B, 1e-6)
-		hiddenT := tensor.Linear(normed, blk.fc1W, blk.fc1B)
+		hiddenT := ops.fc1.apply(normed)
 		tensor.GELU(hiddenT)
-		mlpOut := tensor.Linear(hiddenT, blk.fc2W, blk.fc2B)
+		mlpOut := ops.fc2.apply(hiddenT)
 		tensor.AddInPlace(tokens, mlpOut)
 	}
 
 	tensor.LayerNorm(tokens, m.normG, m.normB, 1e-6)
 	cls := tensor.FromSlice(tokens.Data[:d], 1, d)
-	return tensor.Linear(cls, m.headW, m.headB)
+	return e.head.apply(cls)
 }

@@ -111,8 +111,18 @@ func (m *ResNetModel) LoadTensors(lookup map[string]*tensor.Tensor) error {
 }
 
 func assignTensor(dst, src *tensor.Tensor, name string) error {
-	if len(dst.Data) != len(src.Data) {
-		return fmt.Errorf("models: tensor %q has %d values, want %d", name, len(src.Data), len(dst.Data))
+	// Exact shape validation at load time (not just element count):
+	// a transposed or mis-reshaped weight would pass a length check and
+	// then panic (or silently compute garbage) deep inside a forward
+	// pass on a serving replica. Errors wrap tensor.ErrShape so the API
+	// boundary can classify them.
+	if len(dst.Shape) != len(src.Shape) {
+		return fmt.Errorf("models: tensor %q has shape %v, want %v: %w", name, src.Shape, dst.Shape, tensor.ErrShape)
+	}
+	for i, d := range dst.Shape {
+		if src.Shape[i] != d {
+			return fmt.Errorf("models: tensor %q has shape %v, want %v: %w", name, src.Shape, dst.Shape, tensor.ErrShape)
+		}
 	}
 	copy(dst.Data, src.Data)
 	return nil

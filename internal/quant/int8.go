@@ -36,6 +36,10 @@ func CalibrateInt8(xs []float32) (Int8Params, error) {
 		hi = 0
 	}
 	if hi == lo {
+		// All-zero (constant inputs always span zero after the clamp
+		// above, so hi==lo implies everything is 0): any scale maps 0
+		// to code 0 exactly; use 1 so Quantize/Dequantize stay
+		// division-safe and round-trip to exact zeros.
 		return Int8Params{Scale: 1}, nil
 	}
 	scale := (hi - lo) / 255
@@ -52,6 +56,17 @@ func CalibrateInt8(xs []float32) (Int8Params, error) {
 // Quantize converts xs into int8 codes.
 func (p Int8Params) Quantize(xs []float32) []int8 {
 	out := make([]int8, len(xs))
+	p.QuantizeInto(out, xs)
+	return out
+}
+
+// QuantizeInto writes the int8 codes of xs into dst without allocating;
+// dst must hold len(xs) values. This is the variant the executable
+// quantized forward path uses on its pooled buffers.
+func (p Int8Params) QuantizeInto(dst []int8, xs []float32) {
+	if len(dst) < len(xs) {
+		panic(fmt.Sprintf("quant: QuantizeInto dst holds %d codes, want %d", len(dst), len(xs)))
+	}
 	for i, x := range xs {
 		q := math.Round(float64(x/p.Scale)) + float64(p.ZeroPoint)
 		if q < -128 {
@@ -60,18 +75,26 @@ func (p Int8Params) Quantize(xs []float32) []int8 {
 		if q > 127 {
 			q = 127
 		}
-		out[i] = int8(q)
+		dst[i] = int8(q)
 	}
-	return out
 }
 
 // Dequantize reconstructs approximate float32 values.
 func (p Int8Params) Dequantize(qs []int8) []float32 {
 	out := make([]float32, len(qs))
-	for i, q := range qs {
-		out[i] = float32(int32(q)-p.ZeroPoint) * p.Scale
-	}
+	p.DequantizeInto(out, qs)
 	return out
+}
+
+// DequantizeInto reconstructs values into dst without allocating; dst
+// must hold len(qs) values.
+func (p Int8Params) DequantizeInto(dst []float32, qs []int8) {
+	if len(dst) < len(qs) {
+		panic(fmt.Sprintf("quant: DequantizeInto dst holds %d values, want %d", len(dst), len(qs)))
+	}
+	for i, q := range qs {
+		dst[i] = float32(int32(q)-p.ZeroPoint) * p.Scale
+	}
 }
 
 // MaxError returns the worst-case reconstruction error of the

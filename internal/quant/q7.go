@@ -1,0 +1,125 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// 7-bit quantization for the SWAR integer GEMM in internal/tensor.
+//
+// The packed kernel multiplies four code pairs per 64-bit multiply by
+// placing codes in 16-bit fields; keeping every code in [0, 127] bounds
+// each partial sum of ≤4 products below 2^16 so fields never carry into
+// their neighbours. Activations use asymmetric unsigned 7-bit codes
+// (per-row scale + zero point); weights use symmetric signed 7-bit
+// codes in [-63, 63] (per output channel), stored biased by +64 into
+// [1, 127] at pack time. Restricting weights to 7 bits to keep a packed
+// multiply exact is the same trade x86 int8 kernels make for
+// pmaddubsw saturation (e.g. onnxruntime's reduce_range mode).
+
+// Q7Params maps x to unsigned 7-bit codes q = clamp(round(x/Scale) +
+// ZeroPoint, 0, 127).
+type Q7Params struct {
+	Scale     float32
+	ZeroPoint int32
+}
+
+// CalibrateQ7 derives asymmetric parameters mapping [min(xs), max(xs)]
+// (widened to include zero, so padding and ReLU zeros are exact) onto
+// [0, 127]. A constant slice spans zero after widening, so the
+// degenerate hi==lo case means all-zero input: Scale 1 / ZeroPoint 0
+// keeps quantization division-safe and round-trips zeros exactly.
+func CalibrateQ7(xs []float32) (Q7Params, error) {
+	if len(xs) == 0 {
+		return Q7Params{}, fmt.Errorf("quant: calibrating empty tensor")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi == lo {
+		return Q7Params{Scale: 1}, nil
+	}
+	scale := (hi - lo) / 127
+	zp := int32(math.Round(float64(-lo / scale)))
+	if zp < 0 {
+		zp = 0
+	}
+	if zp > 127 {
+		zp = 127
+	}
+	return Q7Params{Scale: scale, ZeroPoint: zp}, nil
+}
+
+// QuantizeInto writes the unsigned 7-bit codes of xs into dst without
+// allocating; dst must hold len(xs) values.
+func (p Q7Params) QuantizeInto(dst []uint8, xs []float32) {
+	if len(dst) < len(xs) {
+		panic(fmt.Sprintf("quant: Q7 QuantizeInto dst holds %d codes, want %d", len(dst), len(xs)))
+	}
+	for i, x := range xs {
+		q := math.Round(float64(x/p.Scale)) + float64(p.ZeroPoint)
+		if q < 0 {
+			q = 0
+		}
+		if q > 127 {
+			q = 127
+		}
+		dst[i] = uint8(q)
+	}
+}
+
+// Dequantize reconstructs the value of a single code.
+func (p Q7Params) Dequantize(q uint8) float32 {
+	return float32(int32(q)-p.ZeroPoint) * p.Scale
+}
+
+// CalibrateQ7Sym returns the symmetric scale mapping [-maxAbs, maxAbs]
+// onto [-63, 63] for a weight channel. An all-zero channel yields scale
+// 1 (codes are all zero either way).
+func CalibrateQ7Sym(xs []float32) float32 {
+	var maxAbs float32
+	for _, x := range xs {
+		a := x
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs / 63
+}
+
+// QuantizeQ7SymInto writes symmetric signed 7-bit codes q =
+// clamp(round(x/scale), -63, 63) into dst; dst must hold len(xs)
+// values.
+func QuantizeQ7SymInto(dst []int8, xs []float32, scale float32) {
+	if len(dst) < len(xs) {
+		panic(fmt.Sprintf("quant: Q7 sym QuantizeInto dst holds %d codes, want %d", len(dst), len(xs)))
+	}
+	for i, x := range xs {
+		q := math.Round(float64(x / scale))
+		if q < -63 {
+			q = -63
+		}
+		if q > 63 {
+			q = 63
+		}
+		dst[i] = int8(q)
+	}
+}

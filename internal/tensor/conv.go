@@ -7,12 +7,12 @@ func Conv2D(x, w, bias *Tensor, stride, pad int) *Tensor {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	outC, inC, kh, kw := w.Shape[0], w.Shape[1], w.Shape[2], w.Shape[3]
 	if inC != c {
-		panic("tensor: Conv2D channel mismatch")
+		panic(shapeErrf("Conv2D channel mismatch: input has %d channels, weights expect %d", c, inC))
 	}
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (wd+2*pad-kw)/stride + 1
 	if oh <= 0 || ow <= 0 {
-		panic("tensor: Conv2D produces empty output")
+		panic(shapeErrf("Conv2D produces empty output for input %v, kernel %v", x.Shape, w.Shape))
 	}
 	out := New(n, outC, oh, ow)
 	cols := New(c*kh*kw, oh*ow)
@@ -65,6 +65,48 @@ func im2col(x *Tensor, b int, cols *Tensor, kh, kw, stride, pad, oh, ow int) {
 							row[idx] = src[iy*w+ix]
 						}
 						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Im2ColTransInto unrolls image b of the NCHW tensor x into dst laid
+// out *transposed* relative to im2col: (OH*OW x C*KH*KW), one receptive
+// field per row. This is the layout the quantized and half-precision
+// conv paths want — each output pixel becomes a contiguous k-vector
+// that can be row-quantized and multiplied against (OutC x C*KH*KW)
+// weights with the TransB kernels. dst must hold oh*ow*c*kh*kw values.
+func Im2ColTransInto(dst []float32, x *Tensor, b, kh, kw, stride, pad, oh, ow int) {
+	c, h, w := x.Shape[1], x.Shape[2], x.Shape[3]
+	ckk := c * kh * kw
+	if len(dst) < oh*ow*ckk {
+		panic(shapeErrf("Im2ColTransInto dst holds %d values, want %d", len(dst), oh*ow*ckk))
+	}
+	for ch := 0; ch < c; ch++ {
+		src := x.Data[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				col := (ch*kh+ky)*kw + kx
+				p := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[p*ckk+col] = 0
+							p++
+						}
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							dst[p*ckk+col] = 0
+						} else {
+							dst[p*ckk+col] = src[iy*w+ix]
+						}
+						p++
 					}
 				}
 			}

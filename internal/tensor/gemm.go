@@ -1,21 +1,72 @@
 package tensor
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
 
-// gemmBlock is the cache blocking factor for the K dimension.
-const gemmBlock = 64
+// ErrShape is the typed error wrapped by every shape-mismatch failure in
+// this package. Kernel entry points panic with an error value satisfying
+// errors.Is(err, ErrShape); API boundaries (engine.InferTensors) recover
+// those panics and surface them as ordinary errors so a malformed model
+// cannot crash a serving replica.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// shapeErrf builds an ErrShape-wrapping error for panic values.
+func shapeErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrShape}, args...)...)
+}
+
+// Cache-blocking parameters of the packed GEMM, BLIS-style. The kernel
+// computes C += A·B by tiling into MC×KC panels of A and KC×NC panels of
+// B, packing each panel into contiguous micro-strips, and running an
+// MR×NR register micro-kernel over the packed data. Sizes target the
+// common x86 hierarchy: a KC×NR B strip (4 KiB) and an MC... the packed
+// A block (MC·KC·4 = 128 KiB) live in L1/L2, the packed B panel
+// (KC·NC·4 = 512 KiB) in L2.
+const (
+	gemmMR = 2   // micro-kernel rows
+	gemmNR = 4   // micro-kernel columns
+	gemmKC = 256 // K blocking (panel depth)
+	gemmMC = 128 // M blocking (rows per packed A block)
+	gemmNC = 512 // N blocking (columns per packed B panel)
+
+	// gemmMinMACsPerBand is the smallest amount of work (multiply-
+	// accumulates) worth a goroutine of its own; products below it run
+	// serially and bands are never split finer than this.
+	gemmMinMACsPerBand = 1 << 16
+)
+
+// Pack-buffer pools, one buffer class per panel kind. Buffers are sized
+// for the largest block so every Get can be used for any edge block.
+var (
+	packAPool = sync.Pool{New: func() any {
+		s := make([]float32, gemmMC*gemmKC)
+		return &s
+	}}
+	packBPool = sync.Pool{New: func() any {
+		s := make([]float32, gemmKC*gemmNC)
+		return &s
+	}}
+)
+
+// packBFunc fills dst with the packed KC×NC panel of B starting at
+// (kOff, nOff), laid out in NR-column strips with zero padding to a
+// strip multiple. Implementations exist for row-major B (k×n),
+// transposed B (n×k) and half-precision transposed B.
+type packBFunc func(dst []float32, kOff, kc, nOff, nc int)
 
 // MatMulNaive computes C = A(MxK) * B(KxN) with the textbook triple
 // loop. It is the reference implementation the optimized kernels are
-// tested against.
+// tested against, and the baseline of the achieved-vs-practical GFLOPS
+// methodology in EXPERIMENTS.md.
 func MatMulNaive(a, b *Tensor) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic("tensor: MatMul inner dimension mismatch")
+		panic(shapeErrf("MatMul inner dimension mismatch: %v x %v", a.Shape, b.Shape))
 	}
 	c := New(m, n)
 	for i := 0; i < m; i++ {
@@ -30,13 +81,13 @@ func MatMulNaive(a, b *Tensor) *Tensor {
 	return c
 }
 
-// MatMul computes C = A(MxK) * B(KxN) using a blocked i-k-j loop order
-// (streaming through B rows) parallelized across row bands.
+// MatMul computes C = A(MxK) * B(KxN) with the packed blocked-parallel
+// kernel.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic("tensor: MatMul inner dimension mismatch")
+		panic(shapeErrf("MatMul inner dimension mismatch: %v x %v", a.Shape, b.Shape))
 	}
 	c := New(m, n)
 	GemmInto(c.Data, a.Data, b.Data, m, n, k)
@@ -46,54 +97,269 @@ func MatMul(a, b *Tensor) *Tensor {
 // GemmInto computes c += a*b on raw slices (c is assumed zeroed or to be
 // accumulated into), with a (m x k), b (k x n), c (m x n), row-major.
 func GemmInto(c, a, b []float32, m, n, k int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
 	}
-	if workers <= 1 || m*n*k < 1<<15 {
-		gemmRows(c, a, b, 0, m, n, k)
+	packB := func(dst []float32, kOff, kc, nOff, nc int) {
+		packBRowMajor(dst, b, n, kOff, kc, nOff, nc)
+	}
+	gemmParallel(c, a, m, n, k, gemmWorkers(m, n, k), packB)
+}
+
+// GemmTransBInto computes c += a*bᵀ with a (m x k), b (n x k), c
+// (m x n), all row-major. This is the natural layout for linear layers
+// whose weights are stored (out_features x in_features).
+func GemmTransBInto(c, a, b []float32, m, n, k int) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
+	packB := func(dst []float32, kOff, kc, nOff, nc int) {
+		packBTransposed(dst, b, k, kOff, kc, nOff, nc)
+	}
+	gemmParallel(c, a, m, n, k, gemmWorkers(m, n, k), packB)
+}
+
+// gemmWorkers picks the goroutine count for an m×n×k product: at most
+// GOMAXPROCS, at most one band per row, and never so many that a band
+// falls under gemmMinMACsPerBand multiply-accumulates. Sizing by flops
+// rather than rows keeps skinny products (small m, huge n·k) parallel
+// and keeps tiny products serial.
+func gemmWorkers(m, n, k int) int {
+	return gemmWorkersFor(m, n, k, runtime.GOMAXPROCS(0))
+}
+
+func gemmWorkersFor(m, n, k, procs int) int {
+	macs := int64(m) * int64(n) * int64(k)
+	w := int(macs / gemmMinMACsPerBand)
+	if w > procs {
+		w = procs
+	}
+	if w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// gemmParallel splits the M dimension into w contiguous row bands of
+// near-equal size (the first m%w bands take one extra row, so no band is
+// ever empty — including m < w, where w is clamped to m) and runs the
+// packed kernel over each band concurrently.
+func gemmParallel(c, a []float32, m, n, k, w int, packB packBFunc) {
+	if w <= 1 {
+		gemmBand(c, a, 0, m, n, k, packB)
 		return
 	}
 	var wg sync.WaitGroup
-	rowsPer := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
+	base, rem := m/w, m%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		rows := base
+		if i < rem {
+			rows++
 		}
-		if lo >= hi {
-			break
-		}
+		hi := lo + rows
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			gemmRows(c, a, b, lo, hi, n, k)
+			gemmBand(c, a, lo, hi, n, k, packB)
 		}(lo, hi)
+		lo = hi
 	}
 	wg.Wait()
 }
 
-// gemmRows computes rows [lo,hi) of c += a*b with K-blocking and an
-// i-k-j inner order so the inner loop is a saxpy over contiguous memory.
-func gemmRows(c, a, b []float32, lo, hi, n, k int) {
-	for kk := 0; kk < k; kk += gemmBlock {
-		kend := kk + gemmBlock
-		if kend > k {
-			kend = k
-		}
-		for i := lo; i < hi; i++ {
-			ci := c[i*n : i*n+n]
-			for p := kk; p < kend; p++ {
-				av := a[i*k+p]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : p*n+n]
-				for j := range bp {
-					ci[j] += av * bp[j]
+// gemmBand computes rows [rowLo,rowHi) of c += a·B through the blocked
+// packed pipeline: for each KC×NC panel of B (packed once per band via
+// packB) pack the matching MC×KC block of A into MR strips and sweep the
+// MR×NR micro-kernel over the packed panels. Each band owns its pack
+// buffers (taken from pools), so bands share nothing but the inputs.
+func gemmBand(c, a []float32, rowLo, rowHi, n, k int, packB packBFunc) {
+	paPtr := packAPool.Get().(*[]float32)
+	pbPtr := packBPool.Get().(*[]float32)
+	defer packAPool.Put(paPtr)
+	defer packBPool.Put(pbPtr)
+	pa, pb := *paPtr, *pbPtr
+
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			packB(pb, pc, kc, jc, nc)
+			for ic := rowLo; ic < rowHi; ic += gemmMC {
+				mc := min(gemmMC, rowHi-ic)
+				packARows(pa, a, k, ic, mc, pc, kc)
+				for jr := 0; jr < nc; jr += gemmNR {
+					nr := min(gemmNR, nc-jr)
+					bs := pb[(jr/gemmNR)*(kc*gemmNR):]
+					for ir := 0; ir < mc; ir += gemmMR {
+						mr := min(gemmMR, mc-ir)
+						as := pa[(ir/gemmMR)*(kc*gemmMR):]
+						micro2x4(as, bs, kc, c[(ic+ir)*n+jc+jr:], n, mr, nr)
+					}
 				}
 			}
+		}
+	}
+}
+
+// packARows packs the mc×kc block of a starting at (rowOff, kOff) into
+// MR-row strips: strip s holds rows [rowOff+s·MR, rowOff+s·MR+MR) laid
+// out k-major (for each k, the MR row values adjacent), zero-padded when
+// mc is not a strip multiple.
+func packARows(dst, a []float32, lda, rowOff, mc, kOff, kc int) {
+	di := 0
+	for i0 := 0; i0 < mc; i0 += gemmMR {
+		r0 := a[(rowOff+i0)*lda+kOff:]
+		if i0+1 < mc {
+			r1 := a[(rowOff+i0+1)*lda+kOff:]
+			for p := 0; p < kc; p++ {
+				dst[di] = r0[p]
+				dst[di+1] = r1[p]
+				di += 2
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				dst[di] = r0[p]
+				dst[di+1] = 0
+				di += 2
+			}
+		}
+	}
+}
+
+// packBRowMajor packs the kc×nc panel of row-major b (ldb = n) starting
+// at (kOff, nOff) into NR-column strips, zero-padded to a strip
+// multiple.
+func packBRowMajor(dst, b []float32, ldb, kOff, kc, nOff, nc int) {
+	di := 0
+	for j0 := 0; j0 < nc; j0 += gemmNR {
+		w := min(gemmNR, nc-j0)
+		for p := 0; p < kc; p++ {
+			row := b[(kOff+p)*ldb+nOff+j0:]
+			for e := 0; e < w; e++ {
+				dst[di+e] = row[e]
+			}
+			for e := w; e < gemmNR; e++ {
+				dst[di+e] = 0
+			}
+			di += gemmNR
+		}
+	}
+}
+
+// packBTransposed packs the same logical kc×nc panel when b is stored
+// transposed (n×k row-major, ldb = k): column j of B is row j of b.
+func packBTransposed(dst, b []float32, ldb, kOff, kc, nOff, nc int) {
+	di := 0
+	for j0 := 0; j0 < nc; j0 += gemmNR {
+		w := min(gemmNR, nc-j0)
+		var c0, c1, c2, c3 []float32
+		c0 = b[(nOff+j0)*ldb+kOff:]
+		if w > 1 {
+			c1 = b[(nOff+j0+1)*ldb+kOff:]
+		}
+		if w > 2 {
+			c2 = b[(nOff+j0+2)*ldb+kOff:]
+		}
+		if w > 3 {
+			c3 = b[(nOff+j0+3)*ldb+kOff:]
+		}
+		switch w {
+		case gemmNR:
+			for p := 0; p < kc; p++ {
+				dst[di] = c0[p]
+				dst[di+1] = c1[p]
+				dst[di+2] = c2[p]
+				dst[di+3] = c3[p]
+				di += gemmNR
+			}
+		default:
+			for p := 0; p < kc; p++ {
+				dst[di] = c0[p]
+				if w > 1 {
+					dst[di+1] = c1[p]
+				} else {
+					dst[di+1] = 0
+				}
+				if w > 2 {
+					dst[di+2] = c2[p]
+				} else {
+					dst[di+2] = 0
+				}
+				dst[di+3] = 0
+				di += gemmNR
+			}
+		}
+	}
+}
+
+// micro2x4 is the register micro-kernel: it accumulates the MR×NR
+// (2×4) outer product over a kc-deep packed A strip (MR values per k)
+// and packed B strip (NR values per k) into eight register-resident
+// accumulators — the inner loop touches no C memory and carries no
+// bounds checks beyond the strip loads — then adds the mr×nr valid
+// region into C. The k loop is unrolled by two.
+func micro2x4(ap, bp []float32, kc int, c []float32, ldc, mr, nr int) {
+	var c00, c01, c02, c03, c10, c11, c12, c13 float32
+	ai, bi := 0, 0
+	for p := 0; p+1 < kc; p += 2 {
+		a0, a1 := ap[ai], ap[ai+1]
+		b0, b1, b2, b3 := bp[bi], bp[bi+1], bp[bi+2], bp[bi+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = ap[ai+2], ap[ai+3]
+		b0, b1, b2, b3 = bp[bi+4], bp[bi+5], bp[bi+6], bp[bi+7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		ai += 2 * gemmMR
+		bi += 2 * gemmNR
+	}
+	if kc&1 != 0 {
+		a0, a1 := ap[ai], ap[ai+1]
+		b0, b1, b2, b3 := bp[bi], bp[bi+1], bp[bi+2], bp[bi+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+	}
+	if mr == gemmMR && nr == gemmNR {
+		c[0] += c00
+		c[1] += c01
+		c[2] += c02
+		c[3] += c03
+		c[ldc] += c10
+		c[ldc+1] += c11
+		c[ldc+2] += c12
+		c[ldc+3] += c13
+		return
+	}
+	// Edge tile: the packed strips are zero-padded so the accumulators
+	// are exact; only the write-back is masked.
+	var tmp [gemmMR][gemmNR]float32
+	tmp[0] = [gemmNR]float32{c00, c01, c02, c03}
+	tmp[1] = [gemmNR]float32{c10, c11, c12, c13}
+	for i := 0; i < mr; i++ {
+		for j := 0; j < nr; j++ {
+			c[i*ldc+j] += tmp[i][j]
 		}
 	}
 }
@@ -105,44 +371,10 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic("tensor: MatMulTransB inner dimension mismatch")
+		panic(shapeErrf("MatMulTransB inner dimension mismatch: %v x %v", a.Shape, b.Shape))
 	}
 	c := New(m, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	rowBand := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : i*k+k]
-			for j := 0; j < n; j++ {
-				bj := b.Data[j*k : j*k+k]
-				var acc float32
-				for p := range ai {
-					acc += ai[p] * bj[p]
-				}
-				c.Data[i*n+j] = acc
-			}
-		}
-	}
-	if workers <= 1 || m*n*k < 1<<15 {
-		rowBand(0, m)
-		return c
-	}
-	var wg sync.WaitGroup
-	rowsPer := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*rowsPer, (w+1)*rowsPer
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) { defer wg.Done(); rowBand(lo, hi) }(lo, hi)
-	}
-	wg.Wait()
+	GemmTransBInto(c.Data, a.Data, b.Data, m, n, k)
 	return c
 }
 
@@ -151,6 +383,9 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 func Linear(x, w, bias *Tensor) *Tensor {
 	y := MatMulTransB(x, w)
 	if bias != nil {
+		if len(bias.Data) != y.Shape[1] {
+			panic(shapeErrf("Linear bias has %d values, want %d", len(bias.Data), y.Shape[1]))
+		}
 		n := y.Shape[1]
 		for i := 0; i < y.Shape[0]; i++ {
 			row := y.Data[i*n : i*n+n]
@@ -160,4 +395,11 @@ func Linear(x, w, bias *Tensor) *Tensor {
 		}
 	}
 	return y
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

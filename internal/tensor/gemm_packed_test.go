@@ -1,0 +1,279 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"harvest/internal/quant"
+	"harvest/internal/stats"
+)
+
+// gemmShapes deliberately hits the kernel's edge geometry: degenerate
+// dims (m=1, n=1, k=1), sizes straddling the MR/NR/MC/KC/NC block
+// boundaries (non-multiples on every axis), and skinny aspect ratios in
+// both orientations.
+var gemmShapes = [][3]int{
+	{1, 1, 1}, {1, 7, 1}, {3, 1, 5}, {2, 4, 8},
+	{5, 5, 5}, {17, 9, 33}, {64, 64, 64},
+	{129, 131, 127}, {2, 511, 3}, {257, 2, 260},
+	{1, 1024, 9}, {130, 516, 258}, {7, 3, 300},
+}
+
+// gemmTol bounds the acceptable packed-vs-naive divergence: both are
+// exact algorithms that only differ in summation order, so the gap is
+// pure float rounding, which grows with k.
+func gemmTol(k int) float32 {
+	return 1e-5 * float32(math.Sqrt(float64(k))+8)
+}
+
+func TestPackedGemmMatchesNaive(t *testing.T) {
+	r := stats.NewRNG(42)
+	for _, s := range gemmShapes {
+		m, n, k := s[0], s[1], s[2]
+		a := randTensor(r, m, k)
+		b := randTensor(r, k, n)
+		want := MatMulNaive(a, b)
+		got := MatMul(a, b)
+		if d := float32(MaxAbsDiff(got, want)); d > gemmTol(k) {
+			t.Errorf("(%d,%d,%d): packed vs naive max abs diff %g", m, n, k, d)
+		}
+	}
+}
+
+func TestGemmTransBMatchesNaive(t *testing.T) {
+	r := stats.NewRNG(43)
+	for _, s := range gemmShapes {
+		m, n, k := s[0], s[1], s[2]
+		a := randTensor(r, m, k)
+		bt := randTensor(r, n, k)
+		got := MatMulTransB(a, bt)
+		want := MatMulNaive(a, Transpose2D(bt))
+		if d := float32(MaxAbsDiff(got, want)); d > gemmTol(k) {
+			t.Errorf("(%d,%d,%d): transB vs naive max abs diff %g", m, n, k, d)
+		}
+	}
+}
+
+// TestGemmParallelBandsMatchNaive is the regression test for the old
+// ceil-divide band split, which handed the last worker an empty (or
+// out-of-range) band whenever m was smaller than the worker count. The
+// split must be correct for every (m, w) combination, including w > m.
+func TestGemmParallelBandsMatchNaive(t *testing.T) {
+	r := stats.NewRNG(44)
+	n, k := 37, 19
+	for m := 1; m <= 9; m++ {
+		a := randTensor(r, m, k)
+		b := randTensor(r, k, n)
+		want := MatMulNaive(a, b)
+		for w := 1; w <= 8; w++ {
+			c := New(m, n)
+			packB := func(dst []float32, kOff, kc, nOff, nc int) {
+				packBRowMajor(dst, b.Data, n, kOff, kc, nOff, nc)
+			}
+			gemmParallel(c.Data, a.Data, m, n, k, w, packB)
+			if d := float32(MaxAbsDiff(c, want)); d > gemmTol(k) {
+				t.Fatalf("m=%d w=%d: parallel bands diverge from naive by %g", m, w, d)
+			}
+		}
+	}
+}
+
+func TestGemmWorkersHeuristic(t *testing.T) {
+	cases := []struct {
+		m, n, k, procs, want int
+	}{
+		{1, 2048, 2048, 8, 1},    // one row: one band, however big the flops
+		{3, 2048, 2048, 8, 3},    // m < procs: clamp to m, never an empty band
+		{8, 8, 8, 8, 1},          // tiny product: stay serial
+		{2048, 2048, 2048, 8, 8}, // big product: use all procs
+		{2048, 4, 4, 8, 1},       // many rows but few MACs/row: stay near-serial
+		{100, 256, 256, 64, 64},  // flops-limited below m
+	}
+	for _, c := range cases {
+		if got := gemmWorkersFor(c.m, c.n, c.k, c.procs); got != c.want {
+			t.Errorf("gemmWorkersFor(%d,%d,%d,procs=%d) = %d, want %d", c.m, c.n, c.k, c.procs, got, c.want)
+		}
+	}
+	if got := gemmWorkersFor(100, 256, 256, 64); got*gemmMinMACsPerBand > 100*256*256 {
+		t.Errorf("band smaller than the minimum MAC floor: w=%d", got)
+	}
+}
+
+func TestGemmIntoZeroDims(t *testing.T) {
+	// Degenerate dims must be no-ops, not panics or OOB writes.
+	GemmInto(nil, nil, nil, 0, 4, 4)
+	GemmTransBInto(nil, nil, nil, 4, 0, 4)
+	GemmTransBF16Into(nil, nil, nil, 4, 4, 0, false)
+}
+
+func TestMatMulShapeErrorTyped(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrShape) {
+			t.Fatalf("panic value %v is not an ErrShape error", r)
+		}
+	}()
+	MatMul(New(2, 3), New(4, 5))
+}
+
+func TestGemmF16MatchesRoundTripReference(t *testing.T) {
+	r := stats.NewRNG(45)
+	for _, s := range [][3]int{{3, 5, 7}, {17, 33, 9}, {64, 129, 260}, {1, 513, 300}} {
+		m, n, k := s[0], s[1], s[2]
+		a := randTensor(r, m, k)
+		bt := randTensor(r, n, k)
+		for _, bf16 := range []bool{false, true} {
+			half := make([]uint16, n*k)
+			ref := New(n, k)
+			for i, v := range bt.Data {
+				if bf16 {
+					h := quant.BF16FromFloat32(v)
+					half[i] = uint16(h)
+					ref.Data[i] = h.Float32()
+				} else {
+					h := quant.FromFloat32(v)
+					half[i] = uint16(h)
+					ref.Data[i] = h.Float32()
+				}
+			}
+			want := MatMulTransB(a, ref)
+			got := New(m, n)
+			GemmTransBF16Into(got.Data, a.Data, half, m, n, k, bf16)
+			if d := float32(MaxAbsDiff(got, want)); d > gemmTol(k) {
+				t.Errorf("bf16=%v (%d,%d,%d): f16 gemm vs round-trip reference diff %g", bf16, m, n, k, d)
+			}
+		}
+	}
+}
+
+// TestQ7GemmMatchesScalarRef bit-compares the SWAR kernel against the
+// plain int32 scalar reference: both are exact integer algorithms, so
+// they must agree exactly on every shape, including k not a multiple of
+// the 4-codes-per-word packing and n not a multiple of the 4-row inner
+// blocking.
+func TestQ7GemmMatchesScalarRef(t *testing.T) {
+	r := stats.NewRNG(46)
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 5, 3}, {4, 4, 4}, {3, 7, 9},
+		{17, 13, 31}, {2, 130, 515}, {65, 3, 1024}, {31, 129, 127},
+	}
+	for _, s := range shapes {
+		m, n, k := s[0], s[1], s[2]
+		acts := make([]uint8, m*k)
+		for i := range acts {
+			acts[i] = uint8(r.Float64() * 128)
+		}
+		ws := make([]int8, n*k)
+		for i := range ws {
+			ws[i] = int8(r.Float64()*127 - 63)
+		}
+		want := make([]int32, m*n)
+		Q7GemmTransBRef(want, acts, ws, m, n, k)
+		got := make([]int32, m*n)
+		Q7GemmTransB(got, PackQ7Acts(acts, m, k), PackQ7Weights(ws, n, k))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("(%d,%d,%d): SWAR kernel differs from scalar ref at %d: %d != %d", m, n, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQ7PackReuse checks PackQ7ActsInto reuses backing storage and
+// fully overwrites stale state (row sums and padding words).
+func TestQ7PackReuse(t *testing.T) {
+	var p PackedQ7
+	a1 := []uint8{127, 127, 127, 127, 127, 127}
+	PackQ7ActsInto(&p, a1, 2, 3)
+	d0 := &p.Data[0]
+	a2 := []uint8{1, 2, 3, 4, 5, 6}
+	PackQ7ActsInto(&p, a2, 2, 3)
+	if &p.Data[0] != d0 {
+		t.Error("PackQ7ActsInto reallocated despite sufficient capacity")
+	}
+	if p.RowSum[0] != 6 || p.RowSum[1] != 15 {
+		t.Errorf("stale row sums after reuse: %v", p.RowSum)
+	}
+	want := make([]int32, 4)
+	Q7GemmTransBRef(want, a2, []int8{1, 1, 1, 2, 2, 2}, 2, 2, 3)
+	got := make([]int32, 4)
+	Q7GemmTransB(got, &p, PackQ7Weights([]int8{1, 1, 1, 2, 2, 2}, 2, 3))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reused pack wrong at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIm2ColTransMatchesIm2Col(t *testing.T) {
+	r := stats.NewRNG(47)
+	x := randTensor(r, 2, 3, 9, 7)
+	kh, kw, stride, pad := 3, 3, 2, 1
+	oh := (9+2*pad-kh)/stride + 1
+	ow := (7+2*pad-kw)/stride + 1
+	ckk := 3 * kh * kw
+	cols := New(ckk, oh*ow)
+	colsT := make([]float32, oh*ow*ckk)
+	for b := 0; b < 2; b++ {
+		im2col(x, b, cols, kh, kw, stride, pad, oh, ow)
+		Im2ColTransInto(colsT, x, b, kh, kw, stride, pad, oh, ow)
+		for rr := 0; rr < ckk; rr++ {
+			for cc := 0; cc < oh*ow; cc++ {
+				if cols.Data[rr*oh*ow+cc] != colsT[cc*ckk+rr] {
+					t.Fatalf("b=%d: transposed im2col mismatch at (%d,%d)", b, rr, cc)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGemmPacked1024(b *testing.B) {
+	r := stats.NewRNG(1)
+	a := randTensor(r, 1024, 1024)
+	bb := randTensor(r, 1024, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, bb)
+	}
+	b.ReportMetric(2*1024*1024*1024/float64(b.Elapsed().Nanoseconds())*float64(b.N), "GFLOPS")
+}
+
+func BenchmarkGemmF16_1024(b *testing.B) {
+	r := stats.NewRNG(1)
+	a := randTensor(r, 1024, 1024)
+	half := make([]uint16, 1024*1024)
+	for i := range half {
+		half[i] = uint16(quant.FromFloat32(float32(r.Float64())))
+	}
+	c := New(1024, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmTransBF16Into(c.Data, a.Data, half, 1024, 1024, 1024, false)
+	}
+	b.ReportMetric(2*1024*1024*1024/float64(b.Elapsed().Nanoseconds())*float64(b.N), "GFLOPS")
+}
+
+func BenchmarkQ7Gemm1024(b *testing.B) {
+	r := stats.NewRNG(1)
+	acts := make([]uint8, 1024*1024)
+	for i := range acts {
+		acts[i] = uint8(r.Float64() * 128)
+	}
+	ws := make([]int8, 1024*1024)
+	for i := range ws {
+		ws[i] = int8(r.Float64()*127 - 63)
+	}
+	pa := PackQ7Acts(acts, 1024, 1024)
+	pw := PackQ7Weights(ws, 1024, 1024)
+	c := make([]int32, 1024*1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Q7GemmTransB(c, pa, pw)
+	}
+	b.ReportMetric(2*1024*1024*1024/float64(b.Elapsed().Nanoseconds())*float64(b.N), "eq-GFLOPS")
+}

@@ -1,0 +1,222 @@
+package tensor
+
+import "sync"
+
+// Quantized GEMM over 7-bit codes, vectorized with 64-bit SWAR.
+//
+// Codes live in the 16-bit fields of a uint64, four per word. With the
+// activation word A = a0 + a1·2^16 + a2·2^32 + a3·2^48 and the weight
+// word B packed in *reversed* field order and *biased* by +64 so every
+// field is in [0, 127], the top field of the product A·B is exactly the
+// 4-element dot product:
+//
+//	(A·B) >> 48  ==  a0·w0' + a1·w1' + a2·w2' + a3·w3'
+//
+// because every partial coefficient stays below 2^16 (products are at
+// most 127² = 16129, and at most four of them sum into one field:
+// 4·16129 = 64516 < 65536), so no field ever carries into the top one,
+// and the terms above 2^64 wrap away harmlessly. One 64-bit multiply +
+// shift therefore retires four multiply-accumulates. The +64 weight
+// bias is corrected after accumulation: Σ qa·(qw+64) − 64·Σ qa =
+// Σ qa·qw, with Σ qa tracked per activation row at pack time.
+
+// PackedQ7 is a matrix of 7-bit codes packed four-per-uint64 along K.
+// Rows are padded to Kp = ceil(K/4) words with zero fields. RowSum
+// holds the per-row sum of the *unbiased* codes, used for the
+// zero-point and bias corrections.
+type PackedQ7 struct {
+	Rows   int
+	K      int
+	Kp     int // words per row = ceil(K/4)
+	Data   []uint64
+	RowSum []int32
+	biased bool // true for weights (fields hold code+64, reversed order)
+}
+
+func q7Words(k int) int { return (k + 3) / 4 }
+
+// PackQ7Acts packs unsigned activation codes (rows×k row-major, each in
+// [0,127]) in ascending field order.
+func PackQ7Acts(codes []uint8, rows, k int) *PackedQ7 {
+	p := &PackedQ7{}
+	PackQ7ActsInto(p, codes, rows, k)
+	return p
+}
+
+// PackQ7ActsInto packs into an existing PackedQ7, reusing its storage
+// when large enough — the allocation-free entry point for pooled
+// buffers on the forward path.
+func PackQ7ActsInto(p *PackedQ7, codes []uint8, rows, k int) {
+	if len(codes) < rows*k {
+		panic(shapeErrf("PackQ7Acts codes have %d values, want %d", len(codes), rows*k))
+	}
+	kp := q7Words(k)
+	p.Rows, p.K, p.Kp, p.biased = rows, k, kp, false
+	if cap(p.Data) < rows*kp {
+		p.Data = make([]uint64, rows*kp)
+	}
+	p.Data = p.Data[:rows*kp]
+	if cap(p.RowSum) < rows {
+		p.RowSum = make([]int32, rows)
+	}
+	p.RowSum = p.RowSum[:rows]
+
+	for r := 0; r < rows; r++ {
+		src := codes[r*k : r*k+k]
+		dst := p.Data[r*kp : r*kp+kp]
+		var sum int32
+		full := k / 4
+		for t := 0; t < full; t++ {
+			c0, c1, c2, c3 := src[t*4], src[t*4+1], src[t*4+2], src[t*4+3]
+			sum += int32(c0) + int32(c1) + int32(c2) + int32(c3)
+			dst[t] = uint64(c0) | uint64(c1)<<16 | uint64(c2)<<32 | uint64(c3)<<48
+		}
+		if full < kp {
+			var w uint64
+			for e := 0; e < k-full*4; e++ {
+				v := src[full*4+e]
+				sum += int32(v)
+				w |= uint64(v) << (16 * e)
+			}
+			dst[full] = w
+		}
+		p.RowSum[r] = sum
+	}
+}
+
+// PackQ7Weights packs signed weight codes (rows×k row-major, each in
+// [-63,63]) biased by +64 in descending field order, so that
+// multiplying against an activation word aligns the dot product into
+// the top field. RowSum holds the true (unbiased, signed) per-row sums
+// for the activation zero-point correction.
+func PackQ7Weights(codes []int8, rows, k int) *PackedQ7 {
+	if len(codes) < rows*k {
+		panic(shapeErrf("PackQ7Weights codes have %d values, want %d", len(codes), rows*k))
+	}
+	kp := q7Words(k)
+	p := &PackedQ7{
+		Rows: rows, K: k, Kp: kp,
+		Data:   make([]uint64, rows*kp),
+		RowSum: make([]int32, rows),
+		biased: true,
+	}
+	for r := 0; r < rows; r++ {
+		src := codes[r*k : r*k+k]
+		dst := p.Data[r*kp : r*kp+kp]
+		var sum int32
+		for t := 0; t < kp; t++ {
+			// Missing tail codes pack as bias-only fields (64): they
+			// only ever multiply the zero padding fields of the
+			// activation word, so they contribute nothing.
+			var w uint64
+			for e := 0; e < 4; e++ {
+				var v int32
+				if idx := t*4 + e; idx < k {
+					v = int32(src[idx])
+					sum += v
+				}
+				w |= uint64(v+64) << (16 * (3 - e))
+			}
+			dst[t] = w
+		}
+		p.RowSum[r] = sum
+	}
+	return p
+}
+
+// Q7GemmTransB computes the exact integer product c[i*n+j] =
+// Σ_k acts[i,k]·weights[j,k] (unbiased codes) into int32, with acts
+// packed plain/ascending and weights packed biased/descending. It is
+// the quantized analogue of GemmTransBInto and parallelizes over
+// activation-row bands the same way.
+func Q7GemmTransB(c []int32, acts, weights *PackedQ7) {
+	if acts.biased || !weights.biased {
+		panic(shapeErrf("Q7GemmTransB wants plain acts and biased weights"))
+	}
+	if acts.K != weights.K {
+		panic(shapeErrf("Q7GemmTransB inner dimension mismatch: k=%d vs k=%d", acts.K, weights.K))
+	}
+	m, n := acts.Rows, weights.Rows
+	if len(c) < m*n {
+		panic(shapeErrf("Q7GemmTransB output has %d values, want %d", len(c), m*n))
+	}
+	w := gemmWorkers(m, n, acts.K)
+	if w <= 1 {
+		q7Band(c, acts, weights, 0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	base, rem := m/w, m%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		rows := base
+		if i < rem {
+			rows++
+		}
+		hi := lo + rows
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			q7Band(c, acts, weights, lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// q7Band computes activation rows [rowLo,rowHi) of the product. The
+// inner kernel runs one activation row against four weight rows at a
+// time: four independent accumulator chains hide the multiply latency,
+// and a uint64 accumulator of 16-bit-bounded terms cannot overflow
+// within any feasible K.
+func q7Band(c []int32, acts, weights *PackedQ7, rowLo, rowHi int) {
+	kp := acts.Kp
+	n := weights.Rows
+	wd := weights.Data
+	for i := rowLo; i < rowHi; i++ {
+		ap := acts.Data[i*kp : i*kp+kp]
+		corr := 64 * acts.RowSum[i]
+		out := c[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := wd[j*kp : j*kp+kp]
+			b1 := wd[(j+1)*kp : (j+1)*kp+kp]
+			b2 := wd[(j+2)*kp : (j+2)*kp+kp]
+			b3 := wd[(j+3)*kp : (j+3)*kp+kp]
+			var r0, r1, r2, r3 uint64
+			for t, av := range ap {
+				r0 += (av * b0[t]) >> 48
+				r1 += (av * b1[t]) >> 48
+				r2 += (av * b2[t]) >> 48
+				r3 += (av * b3[t]) >> 48
+			}
+			out[j] = int32(r0) - corr
+			out[j+1] = int32(r1) - corr
+			out[j+2] = int32(r2) - corr
+			out[j+3] = int32(r3) - corr
+		}
+		for ; j < n; j++ {
+			bp := wd[j*kp : j*kp+kp]
+			var r uint64
+			for t, av := range ap {
+				r += (av * bp[t]) >> 48
+			}
+			out[j] = int32(r) - corr
+		}
+	}
+}
+
+// Q7GemmTransBRef is the scalar reference implementation the SWAR
+// kernel is bit-compared against in tests: the same exact integer
+// product computed with plain int32 arithmetic over unpacked codes.
+func Q7GemmTransBRef(c []int32, acts []uint8, weights []int8, m, n, k int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += int32(acts[i*k+p]) * int32(weights[j*k+p])
+			}
+			c[i*n+j] = acc
+		}
+	}
+}
