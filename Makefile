@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-preproc bench-load bench-fleet bench-gemm
+.PHONY: all build test race vet check bench bench-preproc bench-load bench-fleet bench-gemm bench-stream
 
 all: check
 
@@ -18,9 +18,10 @@ vet:
 # buffer, pipeline, the live sim-vs-real validation, the pooled
 # preprocessing engines, the load harness, and the compute backend:
 # the goroutine-parallel packed/quantized GEMM kernels and the pooled
-# scratch buffers of the executable models).
+# scratch buffers of the executable models, plus the streaming camera
+# ingest tier with its async frame completions and serialized uplink).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/fleet/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/... ./internal/loadgen/... ./internal/tensor/... ./internal/quant/... ./internal/models/...
+	$(GO) test -race ./internal/serve/... ./internal/fleet/... ./internal/metrics/... ./internal/trace/... ./internal/pipeline/... ./internal/scaleout/... ./internal/imaging/... ./internal/preprocess/... ./internal/loadgen/... ./internal/tensor/... ./internal/quant/... ./internal/models/... ./internal/stream/... ./internal/transfer/... ./internal/modelio/...
 
 # The CI gate: tier-1 tests plus vet and the race suite.
 check: build vet test race
@@ -69,3 +70,18 @@ bench-fleet:
 		-seed 1 -duration 24s -warmup 2s -shape step -peak-mult 6 \
 		-step-at 8s -churn-kill-at 16s -timeline \
 		-class online:rate=50,items=1,slo=800ms
+
+# Streaming-camera scenario: 6 cameras at 60 FPS against a self-hosted
+# undersized edge tier (one Jetson replica serving ViT_Base at full
+# modeled latency — ~187 req/s capacity vs the 360 FPS aggregate —
+# with streaming ingest + dedup cache) offloading to an in-process
+# A100 cloud router over a modeled rural LTE uplink that cannot carry
+# the full overflow either, so the admission gate sheds stale frames.
+# Emits BENCH_PR9.json with per-camera drop rate, dedup hit rate,
+# offload fraction and intended-start P99. Deterministic frame content
+# via -seed.
+bench-stream:
+	$(GO) run ./cmd/harvest-loadgen -stream -model ViT_Base -name PR9 \
+		-seed 1 -cameras 6 -static-cameras 2 -fps 60 -stream-frames 180 \
+		-frame-size 96 -stream-budget 100ms -offload-queue-threshold 2 \
+		-offload-link lte

@@ -26,6 +26,15 @@
 //
 //	harvest-loadgen -fleet-max 4 -platform Jetson -timescale 1 \
 //	    -shape step -step-at 10s -churn-kill-at 20s -timeline ...
+//
+// With -stream, the harness runs the streaming-camera scenario
+// instead: N long-lived camera sessions at -fps against a streaming
+// ingest endpoint (or, with no -target, a self-hosted Jetson edge
+// offloading to an A100 cloud router), reporting per-camera drop rate,
+// dedup hit rate, offload fraction and intended-start latency:
+//
+//	harvest-loadgen -stream -cameras 6 -fps 60 -stream-frames 180 \
+//	    -static-cameras 2 -stream-budget 100ms -offload-queue-threshold 2
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"time"
 
 	"harvest/internal/loadgen"
+	"harvest/internal/transfer"
 )
 
 func main() {
@@ -80,6 +90,17 @@ func main() {
 		fleetSLOClass = flag.String("fleet-slo-class", "online", "managed fleet: class whose attainment the controller watches")
 		leaseTTL      = flag.Duration("fleet-lease-ttl", 0, "managed fleet: replica lease TTL (0 = registry default)")
 		churnKillAt   = flag.Duration("churn-kill-at", 0, "managed fleet: kill one replica (crash, no deregistration) this long into the run; 0 disables")
+
+		// Streaming-camera scenario (-stream replaces the request classes).
+		streamMode    = flag.Bool("stream", false, "run the streaming-camera scenario instead of request classes")
+		cameras       = flag.Int("cameras", 4, "stream: concurrent camera sessions")
+		staticCams    = flag.Int("static-cameras", 1, "stream: cameras watching a near-static scene (the dedup target)")
+		fps           = flag.Float64("fps", 60, "stream: per-camera frame rate")
+		streamFrames  = flag.Int("stream-frames", 120, "stream: frames per camera")
+		frameSize     = flag.Int("frame-size", 96, "stream: square frame edge in pixels (PPM-encoded)")
+		streamBudget  = flag.Duration("stream-budget", 100*time.Millisecond, "stream: per-frame latency budget (0 = server default)")
+		offloadThresh = flag.Int("offload-queue-threshold", 2, "stream self-host: edge queue depth that triggers offload")
+		offloadLink   = flag.String("offload-link", "5g", "stream self-host: uplink model (wifi, 5g, lte, satellite)")
 	)
 	var classes []loadgen.ClassConfig
 	flag.Func("class",
@@ -105,6 +126,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *streamMode {
+		runStreamScenario(ctx, streamFlags{
+			target:         *target,
+			model:          *model,
+			name:           *name,
+			out:            *out,
+			seed:           *seed,
+			cameras:        *cameras,
+			staticCams:     *staticCams,
+			fps:            *fps,
+			frames:         *streamFrames,
+			frameSize:      *frameSize,
+			budget:         *streamBudget,
+			queueThreshold: *offloadThresh,
+			link:           *offloadLink,
+		})
+		return
+	}
 
 	tgt := *target
 	var managed *loadgen.ManagedFleet
@@ -199,6 +239,75 @@ func main() {
 	path := *out
 	if path == "" {
 		path = report.DefaultPath()
+	}
+	if path != "-" {
+		if err := report.WriteFile(path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	} else if err := report.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// streamFlags carries the -stream scenario's resolved flag values.
+type streamFlags struct {
+	target, model, name, out string
+	seed                     uint64
+	cameras, staticCams      int
+	fps                      float64
+	frames, frameSize        int
+	budget                   time.Duration
+	queueThreshold           int
+	link                     string
+}
+
+// runStreamScenario drives the streaming-camera workload: against
+// -target if given, else against a self-hosted edge→cloud continuum
+// (Jetson edge at full-fidelity sleeps, offloading to an A100 router).
+func runStreamScenario(ctx context.Context, f streamFlags) {
+	tgt := f.target
+	if tgt == "" {
+		link, err := transfer.ByName(f.link)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("self-hosting an edge→cloud continuum: Jetson edge (+streaming ingest) offloading to an A100 router over %s (queue threshold %d)",
+			link.Name, f.queueThreshold)
+		ec, err := loadgen.StartEdgeCloud(loadgen.EdgeCloudConfig{
+			Model:          f.model,
+			QueueThreshold: f.queueThreshold,
+			Budget:         f.budget,
+			Link:           &link,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ec.Close()
+		tgt = ec.URL
+		log.Printf("edge ready at %s (cloud router at %s)", ec.URL, ec.CloudURL)
+	}
+	log.Printf("streaming %d camera(s) at %g FPS, %d frames each (budget %s, seed %d)",
+		f.cameras, f.fps, f.frames, f.budget, f.seed)
+	report, err := loadgen.RunStream(ctx, loadgen.StreamConfig{
+		Name:            f.name,
+		URL:             tgt,
+		Cameras:         f.cameras,
+		StaticCameras:   f.staticCams,
+		FPS:             f.fps,
+		FramesPerCamera: f.frames,
+		Model:           f.model,
+		Budget:          f.budget,
+		FrameSize:       f.frameSize,
+		Seed:            f.seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Summary())
+	path := f.out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", f.name)
 	}
 	if path != "-" {
 		if err := report.WriteFile(path); err != nil {

@@ -8,6 +8,11 @@
 // via half-open probes, and in-flight requests fail over to surviving
 // replicas.
 //
+// Camera ingest streams (POST /v2/streams/{camera}) proxy through with
+// per-camera replica affinity: each camera consistently hashes onto a
+// healthy replica, which owns the stream's ordering state and dedup
+// cache; stream responses flush per outcome line, not per buffer.
+//
 // Usage:
 //
 //	harvest-router -replicas http://127.0.0.1:8000,http://127.0.0.1:8001

@@ -15,10 +15,22 @@
 //	              [-preproc cpu|cv2] [-preproc-workers 0]
 //	              [-fleet http://cp:8200] [-fleet-name edge-1]
 //	              [-fleet-ttl 3s] [-advertise http://10.0.0.5:8000]
+//	              [-real int8] [-real-seed 1] [-real-checkpoint model.hvt]
+//	              [-stream] [-stream-model ViT_Tiny] [-stream-budget 16.7ms]
+//	              [-offload-to http://router:8100] [-offload-link 5g]
+//	              [-offload-chunk-bytes 65536] [-offload-queue-threshold 4]
+//	              [-offload-power-budget 12] [-link-timescale 1.0]
 //
 // With -fleet, the replica registers itself with a harvest-fleet
 // control plane and renews its lease until shutdown, where it
 // deregisters with drain before the HTTP server stops.
+//
+// With -stream, long-lived camera ingest sessions attach at
+// POST /v2/streams/{camera}: NDJSON frames up, per-frame outcomes
+// down, with in-order enforcement, drop-stale admission against the
+// frame budget, and a temporal dedup cache. Adding -offload-to makes
+// the replica an edge tier: under queue (or power) pressure, admitted
+// frames ship to the cloud tier over the modeled -offload-link.
 package main
 
 import (
@@ -33,10 +45,13 @@ import (
 	"time"
 
 	"harvest/internal/core"
+	"harvest/internal/energy"
 	"harvest/internal/fleet"
 	"harvest/internal/hw"
 	"harvest/internal/pprofserve"
 	"harvest/internal/serve"
+	"harvest/internal/stream"
+	"harvest/internal/transfer"
 )
 
 func main() {
@@ -76,6 +91,26 @@ func main() {
 		realBackend = flag.String("real", "",
 			"attach an executable compute backend at this precision (fp32, fp16, bf16 or int8): tensor inputs run real forward passes through the packed/quantized GEMM kernels; empty keeps simulation-only serving")
 		realSeed = flag.Uint64("real-seed", 1, "weight-init seed for the -real backend")
+		realCkpt = flag.String("real-checkpoint", "",
+			"load the -real backend's weights from this .hvt checkpoint (quantized at load into the -real precision) instead of random initialization; requires exactly one -models entry matching the checkpoint")
+		streamEnable = flag.Bool("stream", false,
+			"enable streaming camera ingest at POST /v2/streams/{camera} (requires -preproc: frames arrive as encoded images)")
+		streamModel = flag.String("stream-model", "",
+			"default model for ingest streams (default: the only served model; required with -stream when serving several)")
+		streamBudget = flag.Duration("stream-budget", 0,
+			"per-frame latency budget for ingest streams, counted from frame receipt (0 = the realtime SLO)")
+		offloadTo = flag.String("offload-to", "",
+			"cloud tier base URL (typically a harvest-router); when local queue or power pressure crosses its threshold, admitted frames ship there over the modeled -offload-link (empty disables offload)")
+		offloadLink = flag.String("offload-link", "5g",
+			"edge-to-cloud uplink model for -offload-to: wifi, 5g, lte or satellite")
+		offloadChunk = flag.Int("offload-chunk-bytes", 64<<10,
+			"uplink message size for per-message protocol overhead accounting (0 = one message per frame)")
+		offloadQueueThreshold = flag.Int("offload-queue-threshold", stream.DefaultQueueThreshold,
+			"local queue depth at which frames start offloading to -offload-to")
+		offloadPowerBudget = flag.Float64("offload-power-budget", 0,
+			"edge power budget in watts; modeled draw above it also triggers offload (0 disables the power signal)")
+		linkTimescale = flag.Float64("link-timescale", 1.0,
+			"fraction of modeled uplink latency to really sleep (default 1.0 = full fidelity; negative = none)")
 	)
 	flag.Parse()
 
@@ -92,6 +127,7 @@ func main() {
 		PreprocWorkers: *preprocWorkers,
 		RealBackend:    *realBackend,
 		RealSeed:       *realSeed,
+		RealCheckpoint: *realCkpt,
 	}
 	if *modelsArg != "" {
 		for _, m := range strings.Split(*modelsArg, ",") {
@@ -112,8 +148,76 @@ func main() {
 	if *preproc != "" {
 		log.Printf("encoded-image preprocessing enabled (%s engine)", *preproc)
 	}
-	if *realBackend != "" {
-		log.Printf("real compute backend attached (%s, seed %d)", *realBackend, *realSeed)
+	switch {
+	case *realCkpt != "":
+		prec := *realBackend
+		if prec == "" {
+			prec = "fp32"
+		}
+		log.Printf("real compute backend attached (%s, weights from %s)", prec, *realCkpt)
+	case *realBackend != "":
+		// Loud on purpose: serving random weights looks healthy but
+		// misreports accuracy; say so instead of leaving it implicit.
+		log.Printf("real compute backend attached (%s, RANDOM weights from seed %d — pass -real-checkpoint to serve trained weights)",
+			*realBackend, *realSeed)
+	}
+	// Streaming ingest composes in front of the serving mux: camera
+	// streams at /v2/streams/, everything else falls through to the
+	// v2 API; stream counters export through the serve metrics
+	// surface as the "stream" extension.
+	handler := srv.Handler()
+	if *streamEnable {
+		if *preproc == "" {
+			log.Fatal("-stream requires -preproc: camera frames arrive as encoded images")
+		}
+		model := *streamModel
+		if model == "" {
+			if names := srv.Models(); len(names) == 1 {
+				model = names[0]
+			} else {
+				log.Fatalf("-stream-model required: serving %d models", len(srv.Models()))
+			}
+		}
+		var pol *stream.OffloadPolicy
+		if *offloadTo != "" {
+			link, err := transfer.ByName(*offloadLink)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pol = &stream.OffloadPolicy{
+				Cloud:          serve.NewClient(*offloadTo),
+				Link:           link,
+				ChunkBytes:     *offloadChunk,
+				QueueThreshold: *offloadQueueThreshold,
+				LinkTimeScale:  *linkTimescale,
+			}
+			if *offloadPowerBudget > 0 {
+				p, err := hw.ByName(*platform)
+				if err != nil {
+					log.Fatal(err)
+				}
+				pol.EdgePowerBudgetW = *offloadPowerBudget
+				pol.Power = energy.New(p)
+			}
+			log.Printf("offload enabled: cloud tier %s over %s (queue threshold %d)",
+				*offloadTo, link.Name, *offloadQueueThreshold)
+		}
+		ing, err := stream.NewIngest(stream.Config{
+			Model:   model,
+			Local:   srv,
+			Budget:  *streamBudget,
+			Offload: pol,
+			Trace:   srv.Trace(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.AddMetricsExtension("stream", ing.MetricsJSON, ing.WriteProm)
+		mux := http.NewServeMux()
+		mux.Handle("/v2/streams/", ing.Handler())
+		mux.Handle("/", srv.Handler())
+		handler = mux
+		log.Printf("streaming ingest enabled at /v2/streams/{camera} (default model %s)", model)
 	}
 	log.Printf("platform %s, serving on %s (JSON metrics at /v2/metrics, Prometheus at /metrics, trace at /v2/trace)",
 		*platform, *addr)
@@ -127,7 +231,7 @@ func main() {
 	// unbounded in time because infer requests legitimately queue.
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}

@@ -13,6 +13,7 @@ import (
 	"harvest/internal/engine"
 	"harvest/internal/experiments"
 	"harvest/internal/hw"
+	"harvest/internal/modelio"
 	"harvest/internal/models"
 	"harvest/internal/preprocess"
 	"harvest/internal/serve"
@@ -132,6 +133,13 @@ type DeploymentConfig struct {
 	// RealSeed seeds the real backend's weight initialization
 	// (0 means 1, so deployments are reproducible by default).
 	RealSeed uint64
+	// RealCheckpoint, when non-empty, loads the real backend's weights
+	// from this .hvt checkpoint instead of random initialization,
+	// quantizing them at load into the RealBackend precision (fp32 when
+	// RealBackend is empty). The checkpoint must match the single
+	// configured model: a kind/name/geometry mismatch is a typed
+	// modelio.ErrModelMismatch at startup, never silent random weights.
+	RealCheckpoint string
 }
 
 // newPreprocessor builds the configured CPU preprocessing engine for
@@ -175,6 +183,18 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 		// Installed before Register so every model records into it.
 		srv.SetTrace(trace.NewRing(cfg.TraceCapacity))
 	}
+	var checkpoint *modelio.Checkpoint
+	if cfg.RealCheckpoint != "" {
+		if len(names) != 1 {
+			srv.Close()
+			return nil, fmt.Errorf("core: RealCheckpoint holds one model's weights; configure exactly one model (got %d)", len(names))
+		}
+		checkpoint, err = modelio.LoadFile(cfg.RealCheckpoint)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
 	var pool *preprocess.Pool
 	if cfg.Preproc != "" {
 		pool = preprocess.NewPool(cfg.PreprocWorkers)
@@ -185,7 +205,19 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 			srv.Close()
 			return nil, err
 		}
-		if cfg.RealBackend != "" {
+		if checkpoint != nil {
+			// Trained weights, quantized at load into the serving
+			// precision. This replaces the old silent fallback where a
+			// reduced-precision -real deployment re-initialized random
+			// weights because checkpoint load existed only in fp32.
+			f, err := modelio.ExecutableFor(checkpoint, name,
+				eng.Entry.Spec.InputSize, eng.Entry.Spec.NumClasses, cfg.RealBackend)
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			eng.Real = f
+		} else if cfg.RealBackend != "" {
 			seed := cfg.RealSeed
 			if seed == 0 {
 				seed = 1
@@ -205,7 +237,7 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 			MaxQueueDepth:  cfg.MaxQueueDepth,
 			RealtimeBudget: cfg.RealtimeBudget,
 		}
-		if cfg.RealBackend != "" {
+		if cfg.RealBackend != "" || checkpoint != nil {
 			mc.InputSize = eng.Entry.Spec.InputSize
 		}
 		if pool != nil {

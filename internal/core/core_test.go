@@ -3,11 +3,16 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
+	"io"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"harvest/internal/experiments"
 	"harvest/internal/imaging"
+	"harvest/internal/modelio"
+	"harvest/internal/models"
 	"harvest/internal/serve"
 	"harvest/internal/stats"
 )
@@ -151,5 +156,63 @@ func TestNewDeploymentPreprocEngines(t *testing.T) {
 	}
 	if _, err := NewDeployment(DeploymentConfig{Platform: "A100", Preproc: "dali"}); err == nil {
 		t.Error("unknown preprocessor accepted")
+	}
+}
+
+func TestNewDeploymentRealCheckpoint(t *testing.T) {
+	// Serving-path weight loading at reduced precision: a ViT_Tiny
+	// checkpoint quantized at load into int8 must back the deployment,
+	// and a mismatched checkpoint must fail fast with a typed error.
+	m, err := models.NewViTModel(models.ViTTinyConfig(1000), stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vit_tiny.hvt")
+	if err := modelio.SaveFile(path, func(w io.Writer) error { return modelio.SaveViT(w, m) }); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewDeployment(DeploymentConfig{
+		Platform: "Jetson", Models: []string{"ViT_Tiny"},
+		RealBackend: "int8", RealCheckpoint: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	in := make([]float32, 3*32*32)
+	for i := range in {
+		in[i] = float32(i%13) / 13
+	}
+	resp, err := srv.Submit(context.Background(), &serve.Request{
+		Model: "ViT_Tiny", Inputs: [][]float32{in},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Outputs) != 1 || len(resp.Outputs[0]) != 1000 {
+		t.Fatalf("outputs %d x %d, want 1 x 1000", len(resp.Outputs), len(resp.Outputs[0]))
+	}
+
+	// Mismatch: the checkpoint is ViT_Tiny; hosting ResNet50 with it
+	// must be a startup error, not silent random weights.
+	if _, err := NewDeployment(DeploymentConfig{
+		Platform: "Jetson", Models: []string{"ResNet50"},
+		RealBackend: "int8", RealCheckpoint: path,
+	}); !errors.Is(err, modelio.ErrModelMismatch) {
+		t.Fatalf("mismatched checkpoint error = %v, want ErrModelMismatch", err)
+	}
+	// A checkpoint backs exactly one model.
+	if _, err := NewDeployment(DeploymentConfig{
+		Platform: "Jetson", RealCheckpoint: path,
+	}); err == nil {
+		t.Fatal("multi-model deployment with one checkpoint accepted")
+	}
+	// Unknown precision is typed too.
+	if _, err := NewDeployment(DeploymentConfig{
+		Platform: "Jetson", Models: []string{"ViT_Tiny"},
+		RealBackend: "int4", RealCheckpoint: path,
+	}); !errors.Is(err, modelio.ErrPrecision) {
+		t.Fatalf("bad precision error = %v, want ErrPrecision", err)
 	}
 }

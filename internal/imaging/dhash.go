@@ -1,0 +1,50 @@
+package imaging
+
+import "math/bits"
+
+// dHash geometry: a difference hash compares horizontally adjacent
+// pixels of a (hashW+1)×hashH grayscale downsample, one bit per
+// comparison, yielding a 64-bit signature. Near-identical frames (the
+// temporal redundancy of a fixed field camera) land within a few bits
+// of each other; unrelated frames differ in ~32.
+const (
+	dhashW = 8
+	dhashH = 8
+)
+
+// DHash computes the 64-bit perceptual difference hash of an image:
+// bilinear downsample to 9×8 grayscale (the same sampling convention as
+// the fused preprocess path), then one bit per horizontal neighbor
+// pair, set when the left pixel is brighter. It is translation- and
+// noise-tolerant but flips many bits on real content change, which is
+// exactly the property a temporal dedup cache needs.
+func DHash(im *Image) uint64 {
+	small := Resize(im, dhashW+1, dhashH)
+	// Luma per BT.601, in fixed point; fits easily in int32.
+	var gray [dhashH][dhashW + 1]int32
+	for y := 0; y < dhashH; y++ {
+		for x := 0; x < dhashW+1; x++ {
+			o := (y*(dhashW+1) + x) * 3
+			r := int32(small.Pix[o])
+			g := int32(small.Pix[o+1])
+			b := int32(small.Pix[o+2])
+			gray[y][x] = 299*r + 587*g + 114*b
+		}
+	}
+	var h uint64
+	for y := 0; y < dhashH; y++ {
+		for x := 0; x < dhashW; x++ {
+			h <<= 1
+			if gray[y][x] > gray[y][x+1] {
+				h |= 1
+			}
+		}
+	}
+	return h
+}
+
+// HammingDistance64 returns the number of differing bits between two
+// dHash signatures — the dissimilarity measure for temporal dedup.
+func HammingDistance64(a, b uint64) int {
+	return bits.OnesCount64(a ^ b)
+}

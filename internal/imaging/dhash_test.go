@@ -1,0 +1,54 @@
+package imaging
+
+import (
+	"testing"
+
+	"harvest/internal/stats"
+)
+
+func TestDHashStableUnderNoise(t *testing.T) {
+	rng := stats.NewRNG(7)
+	im := Synthesize(128, 96, KindLeaf, rng)
+	h0 := DHash(im)
+	if h0 != DHash(im) {
+		t.Fatal("DHash is not deterministic")
+	}
+
+	// A near-identical frame: the same scene with tiny per-pixel sensor
+	// noise must stay within a small Hamming radius.
+	noisy := im.Clone()
+	for i := range noisy.Pix {
+		if rng.Float64() < 0.1 {
+			noisy.Pix[i] = clamp8(float64(noisy.Pix[i]) + float64(rng.Intn(5)-2))
+		}
+	}
+	if d := HammingDistance64(h0, DHash(noisy)); d > 6 {
+		t.Fatalf("noisy near-duplicate at Hamming distance %d, want <= 6", d)
+	}
+}
+
+func TestDHashSeparatesDistinctContent(t *testing.T) {
+	rng := stats.NewRNG(7)
+	a := Synthesize(128, 96, KindLeaf, rng)
+	b := Synthesize(128, 96, KindRows, rng)
+	// Invert a third frame entirely: maximal content change.
+	inv := a.Clone()
+	for i := range inv.Pix {
+		inv.Pix[i] = 255 - inv.Pix[i]
+	}
+	if d := HammingDistance64(DHash(a), DHash(b)); d <= 6 {
+		t.Fatalf("distinct scenes at Hamming distance %d, want > 6", d)
+	}
+	if d := HammingDistance64(DHash(a), DHash(inv)); d <= 6 {
+		t.Fatalf("inverted frame at Hamming distance %d, want > 6", d)
+	}
+}
+
+func TestDHashSizeInvariant(t *testing.T) {
+	rng := stats.NewRNG(3)
+	im := Synthesize(256, 192, KindFruit, rng)
+	down := Resize(im, 128, 96)
+	if d := HammingDistance64(DHash(im), DHash(down)); d > 8 {
+		t.Fatalf("same scene at half resolution drifted %d bits, want <= 8", d)
+	}
+}

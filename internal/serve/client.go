@@ -9,8 +9,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptrace"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -274,6 +276,37 @@ func (c *Client) Metrics(ctx context.Context) (*MetricsJSON, error) {
 	return &out, nil
 }
 
+// TransportError classifies a failed infer round trip by whether any of
+// the request reached the wire. Sent == false means the failure struck
+// before the request was written (dial refused, TLS failure, a dead
+// replica's port): the server cannot have seen the request, so
+// resending cannot duplicate work. Sent == true means the request — or
+// part of it — was written and the transport failed afterwards (reset
+// mid-body, connection killed before the response): the server may have
+// executed the inference, so a non-idempotent retry is unsafe and the
+// error is final from the client's point of view.
+type TransportError struct {
+	Sent bool
+	Err  error
+}
+
+func (e *TransportError) Error() string {
+	if e.Sent {
+		return fmt.Sprintf("serve: transport failure after request was sent (may have executed): %v", e.Err)
+	}
+	return fmt.Sprintf("serve: transport failure before request was sent: %v", e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// RequestUnsent reports whether err is a transport failure that struck
+// before any request bytes were written — the only transport failure a
+// non-idempotent request may be blindly retried after.
+func RequestUnsent(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te) && !te.Sent
+}
+
 // overloadError marks a 429 rejection, carrying the server's
 // Retry-After hint.
 type overloadError struct {
@@ -339,8 +372,16 @@ func (c *Client) Infer(ctx context.Context, model string, body InferRequestJSON)
 		if err == nil {
 			return out, nil
 		}
+		// Retry only failures that provably never reached the batcher: a
+		// 429 (shed before admission) or a transport failure before the
+		// request was written. A mid-body or mid-response transport error
+		// is final here — the server may have executed the inference, and
+		// resending would double-count the work (for a camera stream, the
+		// frame). Callers that can failover safely (the router, with its
+		// replica-side accounting) make that decision themselves.
 		var oe *overloadError
-		if attempt >= retries || ctx.Err() != nil || !errors.As(err, &oe) {
+		retryable := errors.As(err, &oe) || RequestUnsent(err)
+		if attempt >= retries || ctx.Err() != nil || !retryable {
 			return nil, err
 		}
 		// The server's Retry-After is a *floor* on the next attempt, not
@@ -349,7 +390,7 @@ func (c *Client) Infer(ctx context.Context, model string, body InferRequestJSON)
 		// means retry immediately. Absent a hint, the client's own
 		// doubling backoff applies.
 		wait := backoff
-		if oe.hasRetryAfter {
+		if oe != nil && oe.hasRetryAfter {
 			if oe.retryAfter == 0 {
 				wait = 0
 			} else if oe.retryAfter > wait {
@@ -380,6 +421,16 @@ func (c *Client) inferOnce(ctx context.Context, model string, body InferRequestJ
 	}
 	ctx, cancel := c.attemptCtx(ctx, body.DeadlineMs)
 	defer cancel()
+	// Track whether this attempt's bytes ever hit the wire, so a
+	// transport failure can be classified sent vs unsent. WroteHeaders
+	// fires once the transport has written the header block to the
+	// connection; from that moment the server may have seen (and begun
+	// executing) the request, so mid-body and mid-response failures must
+	// not be blindly retried the way a refused dial is.
+	var sent atomic.Bool
+	ctx = httptrace.WithClientTrace(ctx, &httptrace.ClientTrace{
+		WroteHeaders: func() { sent.Store(true) },
+	})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.BaseURL+FormatInferPath(model), bytes.NewReader(payload))
 	if err != nil {
@@ -393,7 +444,7 @@ func (c *Client) inferOnce(ctx context.Context, model string, body InferRequestJ
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, &TransportError{Sent: sent.Load(), Err: err}
 	}
 	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {

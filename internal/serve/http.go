@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -214,6 +215,37 @@ type ModelMetricsJSON struct {
 // MetricsJSON is the response of GET /v2/metrics.
 type MetricsJSON struct {
 	Models []ModelMetricsJSON `json:"models"`
+	// Extensions holds the JSON blocks of registered metrics
+	// extensions, keyed by extension name (absent when none are
+	// registered).
+	Extensions map[string]json.RawMessage `json:"extensions,omitempty"`
+}
+
+// metricsExtension is one named block a higher layer contributes to the
+// server's metrics surfaces.
+type metricsExtension struct {
+	name string
+	json func() any
+	prom func(io.Writer)
+}
+
+// AddMetricsExtension registers a named metrics block that rides the
+// server's existing observability surfaces: jsonFn's value appears
+// under "extensions" in GET /v2/metrics, and promFn (optional) is
+// appended to the GET /metrics Prometheus exposition. This is how the
+// streaming ingest tier exports its per-camera counters without serve
+// importing it.
+func (s *Server) AddMetricsExtension(name string, jsonFn func() any, promFn func(io.Writer)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extensions = append(s.extensions, metricsExtension{name: name, json: jsonFn, prom: promFn})
+}
+
+// metricsExtensions snapshots the registered extensions.
+func (s *Server) metricsExtensions() []metricsExtension {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]metricsExtension(nil), s.extensions...)
 }
 
 // errorJSON is the error envelope.
@@ -283,6 +315,16 @@ func (s *Server) Handler() http.Handler {
 		for _, m := range s.Metrics() {
 			out.Models = append(out.Models, metricsToJSON(m))
 		}
+		for _, ext := range s.metricsExtensions() {
+			raw, err := json.Marshal(ext.json())
+			if err != nil {
+				continue
+			}
+			if out.Extensions == nil {
+				out.Extensions = make(map[string]json.RawMessage)
+			}
+			out.Extensions[ext.name] = raw
+		}
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /v2/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -296,6 +338,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", metrics.PromContentType)
 		s.writeProm(w)
+		for _, ext := range s.metricsExtensions() {
+			if ext.prom != nil {
+				ext.prom(w)
+			}
+		}
 	})
 	mux.HandleFunc("GET /v2/models/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v2/models/")

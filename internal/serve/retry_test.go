@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -129,5 +131,116 @@ func TestParseRetryAfter(t *testing.T) {
 		if got != tc.want || ok != tc.ok {
 			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
 		}
+	}
+}
+
+// TestClientNoRetryAfterRequestSent pins the non-idempotent-retry fix:
+// a transport failure *after* the infer POST reached the server must
+// not be retried by the client — the server may have executed the
+// inference, and a blind resend would double-count the work (for a
+// camera stream, the frame). The server here receives the request and
+// kills the connection without responding; exactly one request may
+// arrive.
+func TestClientNoRetryAfterRequestSent(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		// Read the full body (the request definitely arrived), then
+		// destroy the connection mid-exchange.
+		_, _ = io.Copy(io.Discard, r.Body)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("no hijacker")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close()
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	c.RetryBackoff = time.Millisecond
+	_, err := c.Infer(context.Background(), "m", InferRequestJSON{Items: 1})
+	if err == nil {
+		t.Fatal("infer succeeded through a killed connection")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T (%v), want *TransportError", err, err)
+	}
+	if !te.Sent {
+		t.Errorf("error classified unsent: %v", err)
+	}
+	if RequestUnsent(err) {
+		t.Error("RequestUnsent true for a sent request")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d requests, want exactly 1 (no blind resend)", n)
+	}
+}
+
+// TestClientRetriesUnsentTransportFailure verifies the safe half of the
+// same fix: a failure before any request bytes were written (here, a
+// refused dial) is retried — the server cannot have seen the request,
+// so a resend cannot duplicate work.
+func TestClientRetriesUnsentTransportFailure(t *testing.T) {
+	// Reserve a port with nothing listening behind it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	c := NewClient("http://" + addr)
+	c.MaxRetries = 10
+	c.RetryBackoff = 10 * time.Millisecond
+
+	// First, classification: with no server, every attempt is unsent.
+	cctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	_, err = c.Infer(cctx, "m", InferRequestJSON{Items: 1})
+	cancel()
+	if err == nil {
+		t.Fatal("infer succeeded against a dead port")
+	}
+	if !RequestUnsent(err) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("dial-refused error %v, want unsent TransportError", err)
+	}
+
+	// Then, recovery: the server comes up while the client backs off;
+	// the retried request lands exactly once.
+	var calls atomic.Int64
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		json.NewEncoder(w).Encode(InferResponseJSON{ID: "ok", Model: "m", Items: 1})
+	})}
+	up := make(chan struct{})
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		l2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("relisten: %v", err)
+			close(up)
+			return
+		}
+		close(up)
+		_ = srv.Serve(l2)
+	}()
+	t.Cleanup(func() { srv.Close() })
+
+	resp, err := c.Infer(context.Background(), "m", InferRequestJSON{Items: 1})
+	<-up
+	if err != nil {
+		t.Fatalf("infer with late server: %v", err)
+	}
+	if resp.ID != "ok" {
+		t.Fatalf("resp %+v", resp)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d requests, want 1", n)
 	}
 }

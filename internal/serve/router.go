@@ -68,6 +68,7 @@ type routerMetrics struct {
 	errors    metrics.Counter // proxied requests that ultimately failed
 	failovers metrics.Counter // replica faults that moved a request to another replica
 	spills    metrics.Counter // 429 rejections that moved a request to another replica
+	streams   metrics.Counter // camera ingest streams proxied to a replica
 	latency   metrics.LatencyRecorder
 }
 
@@ -328,6 +329,7 @@ type RouterJSON struct {
 	Errors          int64               `json:"errors"`
 	Failovers       int64               `json:"failovers"`
 	Spills          int64               `json:"spills"`
+	Streams         int64               `json:"streams"`
 	HealthyReplicas int                 `json:"healthy_replicas"`
 	LatencyMs       LatencySummaryJSON  `json:"latency_ms"`
 	Replicas        []RouterReplicaJSON `json:"replicas"`
@@ -405,6 +407,7 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 			Errors:          r.met.errors.Load(),
 			Failovers:       r.met.failovers.Load(),
 			Spills:          r.met.spills.Load(),
+			Streams:         r.met.streams.Load(),
 			HealthyReplicas: r.pool.HealthyCount(),
 			LatencyMs:       histToJSON(r.met.latency.Snapshot()),
 		},
@@ -592,6 +595,7 @@ func (r *Router) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("POST /v2/streams/{camera}", r.handleStreamProxy)
 	return mux
 }
 
@@ -609,6 +613,8 @@ func (r *Router) writeProm(w http.ResponseWriter, ctx context.Context) {
 	pw.Int("harvest_router_failovers_total", "", r.met.failovers.Load())
 	pw.Head("harvest_router_spills_total", "counter", "Overload rejections that moved a request to another replica.")
 	pw.Int("harvest_router_spills_total", "", r.met.spills.Load())
+	pw.Head("harvest_router_streams_total", "counter", "Camera ingest streams proxied to a replica.")
+	pw.Int("harvest_router_streams_total", "", r.met.streams.Load())
 	pw.Head("harvest_router_latency_seconds", "histogram", "End-to-end latency of successfully routed requests.")
 	pw.Hist("harvest_router_latency_seconds", "", r.met.latency.Snapshot())
 

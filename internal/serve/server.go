@@ -367,6 +367,10 @@ type Server struct {
 	// without their own (ModelConfig.Trace). Request-stage spans and
 	// batch spans land here.
 	trace *trace.Recorder
+	// extensions are extra metric blocks merged into GET /v2/metrics
+	// and GET /metrics by layers built on top of the server (the
+	// streaming ingest tier); see AddMetricsExtension.
+	extensions []metricsExtension
 }
 
 // NewServer creates an empty server.
@@ -1172,6 +1176,65 @@ func (s *Server) StatsFor(name string) (Stats, error) {
 		st.MeanBatchFill = float64(st.ItemsServed) / float64(st.BatchesRun) / float64(rt.cfg.MaxBatch)
 	}
 	return st, nil
+}
+
+// QueueDepth returns a model's current admission-queue depth: requests
+// admitted but not yet dispatched to an instance. This is the pressure
+// signal the streaming offload policy watches.
+func (s *Server) QueueDepth(name string) (int64, error) {
+	s.mu.Lock()
+	rt, ok := s.models[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return rt.inflight.Load(), nil
+}
+
+// EstimateWait predicts how long a new items-sized submission would
+// take to complete if admitted now: the already-queued work plus this
+// submission, packed into MaxBatch-sized batches across the model's
+// instances, at the calibrated (TimeScale-adjusted) batch execution
+// time. It deliberately over-counts batches already executing as still
+// queued — for a drop-stale admission gate, a slightly pessimistic
+// estimate sheds a frame a touch early rather than queueing one that
+// will blow its deadline.
+func (s *Server) EstimateWait(name string, items int) (time.Duration, error) {
+	s.mu.Lock()
+	rt, ok := s.models[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if items < 1 {
+		items = 1
+	}
+	queued := rt.inflight.Load() + int64(items)
+	maxBatch := int64(rt.cfg.MaxBatch)
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	batches := (queued + maxBatch - 1) / maxBatch
+	instances := int64(rt.cfg.Instances)
+	if instances < 1 {
+		instances = 1
+	}
+	rounds := (batches + instances - 1) / instances
+	// Full rounds execute at MaxBatch; the tail round runs only what
+	// is actually queued. On an unloaded tier this matters: one frame
+	// executes as a batch of one, not a hypothetical full batch — an
+	// always-full-batch estimate would price an idle edge as if
+	// saturated and shed realtime frames it could easily serve.
+	tail := queued - (rounds-1)*maxBatch*instances
+	if tail < 1 {
+		tail = 1
+	} else if tail > maxBatch {
+		tail = maxBatch
+	}
+	wait := time.Duration(rounds-1)*rt.estimatedExecDuration(rt.cfg.MaxBatch) +
+		rt.estimatedExecDuration(int(tail))
+	// The batching window delays dispatch of a non-full batch once.
+	return rt.cfg.QueueDelay + wait, nil
 }
 
 // MetricsFor returns a metrics snapshot for one model.

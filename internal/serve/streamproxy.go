@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"hash/fnv"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+)
+
+// handleStreamProxy proxies a long-lived camera ingest stream
+// (POST /v2/streams/{camera}) to one replica. Unlike infer requests,
+// a stream is stateful — the replica holds the camera's sequence
+// high-water mark and dedup cache — so the router pins each camera to
+// a replica by consistent hashing over the healthy set instead of
+// load-balancing per request, and does not fail over mid-stream (the
+// camera reconnects and re-hashes if its replica dies).
+func (r *Router) handleStreamProxy(w http.ResponseWriter, req *http.Request) {
+	camera := req.PathValue("camera")
+	rep := r.pickStreamReplica(camera)
+	if rep == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: ErrNoReplicas.Error()})
+		return
+	}
+	target, err := url.Parse(rep.URL)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorJSON{Error: "stream: bad replica URL: " + err.Error()})
+		return
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "router closed"})
+		return
+	}
+	r.inflight.Add(1)
+	r.mu.Unlock()
+	defer r.inflight.Done()
+	r.met.streams.Inc()
+
+	// The proxied exchange interleaves reads (frames) with writes
+	// (outcomes); without full duplex the router would drain the
+	// endless request body before forwarding the first outcome line.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: "stream: full-duplex unsupported: " + err.Error()})
+		return
+	}
+
+	proxy := &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			pr.SetURL(target)
+			pr.Out.URL.Path = req.URL.Path
+			pr.Out.URL.RawQuery = req.URL.RawQuery
+		},
+		// Outcome lines must reach the camera as frames resolve:
+		// flush every write instead of buffering the response.
+		FlushInterval: -1,
+		ErrorHandler: func(w http.ResponseWriter, _ *http.Request, err error) {
+			rep.noteError()
+			writeJSON(w, http.StatusBadGateway, errorJSON{Error: "stream proxy: " + err.Error()})
+		},
+	}
+	proxy.ServeHTTP(w, req)
+}
+
+// pickStreamReplica maps a camera ID onto the healthy replica set with
+// an FNV-1a hash over the name-sorted members, so a camera lands on
+// the same replica across reconnects as long as membership is stable.
+func (r *Router) pickStreamReplica(camera string) *Replica {
+	var healthy []*Replica
+	for _, rep := range r.pool.Replicas() {
+		if rep.Healthy() && !rep.Draining() {
+			healthy = append(healthy, rep)
+		}
+	}
+	if len(healthy) == 0 {
+		return nil
+	}
+	sort.Slice(healthy, func(i, j int) bool { return healthy[i].Name < healthy[j].Name })
+	h := fnv.New32a()
+	h.Write([]byte(camera))
+	return healthy[int(h.Sum32())%len(healthy)]
+}

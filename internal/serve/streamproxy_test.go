@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// streamEcho fakes a streaming-ingest replica: readiness for the pool
+// health loop, and a stream endpoint that records which cameras it
+// owned and echoes an NDJSON close.
+type streamEcho struct {
+	name string
+	mu   sync.Mutex
+	cams []string
+}
+
+func (e *streamEcho) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/health/ready", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v2/streams/{camera}", func(w http.ResponseWriter, r *http.Request) {
+		e.mu.Lock()
+		e.cams = append(e.cams, r.PathValue("camera"))
+		e.mu.Unlock()
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintf(w, "{\"summary\":{\"camera\":%q,\"replica\":%q}}\n", r.PathValue("camera"), e.name)
+	})
+	return mux
+}
+
+func (e *streamEcho) owned() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.cams...)
+}
+
+// TestRouterStreamProxyAffinity checks that camera streams proxy
+// through the router to a replica chosen by camera affinity: the same
+// camera always lands on the same replica, the body streams through,
+// and the router counts the sessions.
+func TestRouterStreamProxyAffinity(t *testing.T) {
+	t.Parallel()
+	replicas := []*streamEcho{{name: "rep-0"}, {name: "rep-1"}}
+	var urls []string
+	for _, e := range replicas {
+		ts := httptest.NewServer(e.handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	router, err := NewRouter(urls, RouterConfig{
+		Pool: PoolConfig{ProbeInterval: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	ts := httptest.NewServer(router.Handler())
+	defer ts.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for router.pool.HealthyCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("replicas never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	open := func(camera string) string {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/v2/streams/"+camera, "application/x-ndjson",
+			strings.NewReader("{\"seq\":1}\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("camera %s: HTTP %d: %s", camera, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	cams := []string{"north-field", "south-field", "orchard", "barn"}
+	first := map[string]string{}
+	for _, cam := range cams {
+		first[cam] = open(cam)
+	}
+	// Reconnects land on the same replica: the replica owns the
+	// stream's ordering and dedup state.
+	for _, cam := range cams {
+		if got := open(cam); got != first[cam] {
+			t.Fatalf("camera %s moved replicas across reconnects: %q then %q", cam, first[cam], got)
+		}
+	}
+	for _, cam := range cams {
+		owners := 0
+		for _, e := range replicas {
+			seen := map[string]bool{}
+			for _, c := range e.owned() {
+				seen[c] = true
+			}
+			if seen[cam] {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("camera %s owned by %d replicas, want exactly 1", cam, owners)
+		}
+	}
+	if got := router.Metrics(context.Background()).Router.Streams; got != int64(2*len(cams)) {
+		t.Fatalf("router streams counter = %d, want %d", got, 2*len(cams))
+	}
+}

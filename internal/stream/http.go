@@ -1,0 +1,193 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"harvest/internal/metrics"
+)
+
+// Handler serves the streaming ingest API:
+//
+//	POST /v2/streams/{camera}?model=NAME&budget_ms=16.7
+//
+// The request body is a long-lived NDJSON stream of Frame lines; the
+// chunked response carries one Outcome line per frame (completion
+// order, not arrival order — a dropped frame's outcome beats a served
+// one that is still computing) and a final Summary line when the
+// camera closes its side. The response headers flush immediately so
+// the client can stream against a live connection.
+func (ing *Ingest) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/streams/{camera}", ing.handleStream)
+	return mux
+}
+
+func (ing *Ingest) handleStream(w http.ResponseWriter, r *http.Request) {
+	camera := r.PathValue("camera")
+	if camera == "" {
+		http.Error(w, "stream: camera id required", http.StatusBadRequest)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "stream: response writer cannot stream", http.StatusInternalServerError)
+		return
+	}
+	// The session interleaves reads (frames) with writes (outcomes) on
+	// one HTTP/1 exchange. Without full duplex the server would drain
+	// the request body — endless, for a live camera — before letting
+	// the first outcome out.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		http.Error(w, "stream: full-duplex unsupported: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var budget time.Duration
+	if s := r.URL.Query().Get("budget_ms"); s != "" {
+		var ms float64
+		if _, err := fmt.Sscanf(s, "%g", &ms); err != nil || ms <= 0 {
+			http.Error(w, "stream: invalid budget_ms", http.StatusBadRequest)
+			return
+		}
+		budget = time.Duration(ms * float64(time.Millisecond))
+	}
+	sess, err := ing.Open(camera, r.URL.Query().Get("model"), budget)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), ErrSessionActive.Error()) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	defer sess.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// Outcomes complete on arbitrary goroutines; serialize the writes.
+	var emitMu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(o Outcome) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if enc.Encode(o) == nil {
+			flusher.Flush()
+		}
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), ing.cfg.maxFrameBytes())
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			emit(Outcome{Outcome: OutcomeFailed, Error: "bad frame: " + err.Error()})
+			continue
+		}
+		sess.HandleFrame(r.Context(), f, emit)
+	}
+	// Drain in-flight completions, then close the stream with the
+	// session's accounting.
+	sess.wg.Wait()
+	if err := sc.Err(); err != nil && err != io.ErrUnexpectedEOF {
+		emit(Outcome{Outcome: OutcomeFailed, Error: "read: " + err.Error()})
+	}
+	emitMu.Lock()
+	defer emitMu.Unlock()
+	enc.Encode(struct {
+		Summary Summary `json:"summary"`
+	}{sess.Summary()})
+	flusher.Flush()
+}
+
+// MetricsSnapshot is the ingest tier's aggregate accounting, exported
+// under the "stream" extension of GET /v2/metrics.
+type MetricsSnapshot struct {
+	ActiveSessions int   `json:"active_sessions"`
+	Frames         int64 `json:"frames"`
+	ServedEdge     int64 `json:"served_edge"`
+	ServedCloud    int64 `json:"served_cloud"`
+	DedupHits      int64 `json:"dedup_hits"`
+	Dropped        int64 `json:"dropped"`
+	RejectedOrder  int64 `json:"rejected_order"`
+	Failed         int64 `json:"failed"`
+	// E2EMs summarizes frame receipt → outcome for served and cached
+	// frames.
+	E2EMs LatencySummaryJSON `json:"e2e_ms"`
+	// UplinkMs summarizes the modeled upload cost of cloud-shipped
+	// frames.
+	UplinkMs LatencySummaryJSON `json:"uplink_ms"`
+}
+
+// LatencySummaryJSON is a milliseconds quantile summary.
+type LatencySummaryJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+func latencySummary(l *metrics.LatencyRecorder) LatencySummaryJSON {
+	s := l.Summary()
+	return LatencySummaryJSON{
+		N:    s.N,
+		Mean: s.Mean * 1000,
+		P50:  s.P50 * 1000,
+		P95:  s.P95 * 1000,
+		P99:  s.P99 * 1000,
+	}
+}
+
+// MetricsJSON snapshots the ingest metrics; its shape matches the
+// serve metrics-extension hook.
+func (ing *Ingest) MetricsJSON() any {
+	return MetricsSnapshot{
+		ActiveSessions: ing.ActiveSessions(),
+		Frames:         ing.met.frames.Load(),
+		ServedEdge:     ing.met.servedEdge.Load(),
+		ServedCloud:    ing.met.servedCloud.Load(),
+		DedupHits:      ing.met.dedupHits.Load(),
+		Dropped:        ing.met.dropped.Load(),
+		RejectedOrder:  ing.met.rejectedOrder.Load(),
+		Failed:         ing.met.failed.Load(),
+		E2EMs:          latencySummary(&ing.met.e2e),
+		UplinkMs:       latencySummary(&ing.met.uplink),
+	}
+}
+
+// WriteProm writes the ingest metrics in Prometheus text exposition
+// format; its shape matches the serve metrics-extension hook.
+func (ing *Ingest) WriteProm(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP harvest_stream_active_sessions Live camera ingest sessions.\n"+
+		"# TYPE harvest_stream_active_sessions gauge\nharvest_stream_active_sessions %d\n",
+		ing.ActiveSessions())
+	counter("harvest_stream_frames_total", "Frames received across all camera sessions.", ing.met.frames.Load())
+	counter("harvest_stream_served_edge_total", "Frames served by the local edge tier.", ing.met.servedEdge.Load())
+	counter("harvest_stream_served_cloud_total", "Frames offloaded to and served by the cloud tier.", ing.met.servedCloud.Load())
+	counter("harvest_stream_dedup_hits_total", "Frames answered from the temporal dedup cache.", ing.met.dedupHits.Load())
+	counter("harvest_stream_frames_dropped_total", "Frames dropped at admission by the drop-stale gate.", ing.met.dropped.Load())
+	counter("harvest_stream_rejected_order_total", "Frames rejected for out-of-order sequence numbers.", ing.met.rejectedOrder.Load())
+	counter("harvest_stream_failed_total", "Admitted frames that failed to serve.", ing.met.failed.Load())
+	e2e := latencySummary(&ing.met.e2e)
+	fmt.Fprintf(w, "# HELP harvest_stream_e2e_p99_ms Frame receipt to outcome P99 (served and cached frames).\n"+
+		"# TYPE harvest_stream_e2e_p99_ms gauge\nharvest_stream_e2e_p99_ms %g\n", e2e.P99)
+	up := latencySummary(&ing.met.uplink)
+	fmt.Fprintf(w, "# HELP harvest_stream_uplink_p99_ms Modeled edge-to-cloud upload P99 for offloaded frames.\n"+
+		"# TYPE harvest_stream_uplink_p99_ms gauge\nharvest_stream_uplink_p99_ms %g\n", up.P99)
+}

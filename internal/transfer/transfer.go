@@ -12,6 +12,7 @@ package transfer
 
 import (
 	"fmt"
+	"strings"
 
 	"harvest/internal/imaging"
 )
@@ -50,11 +51,56 @@ func Satellite() Link {
 // Links returns the four standard link models.
 func Links() []Link { return []Link{WiFi(), FiveG(), LTE(), Satellite()} }
 
-// TransmitSeconds returns the time to upload payloadBytes once,
-// including the round trip.
+// ByName resolves a link model by its common flag spelling ("wifi",
+// "5g"/"fiveg", "lte"/"4g", "satellite"/"sat"/"leo"), case-insensitive.
+func ByName(name string) (Link, error) {
+	switch strings.ToLower(name) {
+	case "wifi":
+		return WiFi(), nil
+	case "5g", "fiveg":
+		return FiveG(), nil
+	case "lte", "4g":
+		return LTE(), nil
+	case "satellite", "sat", "leo":
+		return Satellite(), nil
+	}
+	return Link{}, fmt.Errorf("unknown link model %q (want wifi, 5g, lte or satellite)", name)
+}
+
+// TransmitSeconds returns the time to upload payloadBytes as a single
+// HTTP message, including the round trip.
 func (l Link) TransmitSeconds(payloadBytes int) float64 {
-	bits := float64(payloadBytes+l.PerMessageOverheadBytes) * 8
-	return l.RTTSeconds + bits/l.UplinkBitsPerSec
+	return l.TransmitSecondsChunked(payloadBytes, 0)
+}
+
+// MessagesFor returns how many HTTP messages a payload occupies when
+// streamed in chunks of at most chunkBytes (non-positive chunkBytes
+// means one unchunked message).
+func MessagesFor(payloadBytes, chunkBytes int) int {
+	if chunkBytes <= 0 || payloadBytes <= chunkBytes {
+		return 1
+	}
+	return (payloadBytes + chunkBytes - 1) / chunkBytes
+}
+
+// TransmitSecondsChunked returns the time to upload payloadBytes split
+// into chunkBytes-sized HTTP messages, including one round trip.
+// PerMessageOverheadBytes is charged once per message: a chunked
+// streaming upload pays framing on every chunk, not once per image, so
+// pricing it per image (the pre-streaming behavior) undercharges the
+// link exactly when the offload policy leans on it hardest.
+func (l Link) TransmitSecondsChunked(payloadBytes, chunkBytes int) float64 {
+	return l.RTTSeconds + l.TransmitOnlySeconds(payloadBytes, chunkBytes)
+}
+
+// TransmitOnlySeconds is the serialization time of a chunked upload —
+// the duration the payload actually occupies the uplink — without the
+// propagation round trip. This is the term that serializes back-to-back
+// frames on a shared radio; RTT pipelines and does not.
+func (l Link) TransmitOnlySeconds(payloadBytes, chunkBytes int) float64 {
+	msgs := MessagesFor(payloadBytes, chunkBytes)
+	bits := (float64(payloadBytes) + float64(msgs*l.PerMessageOverheadBytes)) * 8
+	return bits / l.UplinkBitsPerSec
 }
 
 // ThroughputImagesPerSec returns the steady-state upload rate for a

@@ -21,6 +21,50 @@ func TestLinkTransmitSeconds(t *testing.T) {
 	}
 }
 
+func TestChunkedTransmitChargesOverheadPerMessage(t *testing.T) {
+	l := Link{Name: "test", UplinkBitsPerSec: 8e6, RTTSeconds: 0.01, PerMessageOverheadBytes: 1000}
+
+	// Regression: a 1 MB payload streamed in 100 KB chunks crosses the
+	// link as 10 HTTP messages, so framing overhead is paid 10 times,
+	// not once per image. At 8 Mbit/s: payload 1 s + overhead 10*1 ms.
+	payload, chunk := 1_000_000, 100_000
+	if got := MessagesFor(payload, chunk); got != 10 {
+		t.Fatalf("MessagesFor = %d, want 10", got)
+	}
+	got := l.TransmitSecondsChunked(payload, chunk)
+	want := 0.01 + 1.0 + 10*0.001
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("chunked transmit %v, want %v", got, want)
+	}
+	// The old per-image accounting undercharges by 9 messages of
+	// framing; make sure the chunked path really differs from it.
+	if single := l.TransmitSeconds(payload); got <= single {
+		t.Errorf("chunked transmit %v not more expensive than single-message %v", got, single)
+	}
+
+	// A payload that fits one chunk prices identically to the
+	// single-message model, so non-streaming callers are unchanged.
+	if a, b := l.TransmitSecondsChunked(50_000, 100_000), l.TransmitSeconds(50_000); math.Abs(a-b) > 1e-12 {
+		t.Errorf("single-chunk payload priced %v, single-message %v", a, b)
+	}
+	// Chunk size of zero means unchunked.
+	if a, b := l.TransmitSecondsChunked(payload, 0), l.TransmitSeconds(payload); math.Abs(a-b) > 1e-12 {
+		t.Errorf("chunk=0 priced %v, single-message %v", a, b)
+	}
+
+	// Uneven division rounds the message count up.
+	if got := MessagesFor(250_001, 100_000); got != 3 {
+		t.Errorf("MessagesFor(250001,100000) = %d, want 3", got)
+	}
+
+	// TransmitOnly excludes the RTT and is what serializes a shared
+	// radio between back-to-back frames.
+	only := l.TransmitOnlySeconds(payload, chunk)
+	if math.Abs(only-(want-0.01)) > 1e-9 {
+		t.Errorf("transmit-only %v, want %v", only, want-0.01)
+	}
+}
+
 func TestLinkThroughputIgnoresRTT(t *testing.T) {
 	l := Link{Name: "test", UplinkBitsPerSec: 80e6, RTTSeconds: 10, PerMessageOverheadBytes: 0}
 	// Pipelined: RTT does not bound throughput. 10 KB images at
