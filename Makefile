@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-preproc bench-load bench-fleet bench-gemm bench-stream
+.PHONY: all build test race vet check bench bench-preproc bench-load bench-fleet bench-gemm bench-stream bench-tenant
 
 all: check
 
@@ -85,3 +85,31 @@ bench-stream:
 		-seed 1 -cameras 6 -static-cameras 2 -fps 60 -stream-frames 180 \
 		-frame-size 96 -stream-budget 100ms -offload-queue-threshold 2 \
 		-offload-link lte
+
+# Multi-tenant isolation scenario: two well-behaved open-loop tenants
+# (farm-a, farm-b) at 30 req/s each on a 2-replica Jetson fleet
+# (~375 req/s aggregate capacity), first alone
+# (BENCH_PR10_baseline.json), then beside an abusive closed-loop
+# tenant — 16 workers that would saturate the fleet unmanaged — under
+# a per-tenant quota (3 items/s per replica, 25% queue share). The
+# quota is mirrored at the router (fleet-aggregate rate), so the hog's
+# rejects are answered in one hop instead of spilling across the pool,
+# and its Retry-After pushes the workers into jittered backoff.
+# Deficit-round-robin scheduling plus the quota must keep the victims'
+# P99 and SLO attainment within ~10% of their solo baseline while the
+# hog eats its isolated 429 budget. The victim classes come first so
+# their seeded arrival schedules are identical across both runs.
+# Emits BENCH_PR10.json.
+bench-tenant:
+	$(GO) run ./cmd/harvest-loadgen -spawn 2 -platform Jetson \
+		-model ViT_Base -timescale 1 -max-queue-depth 64 \
+		-name PR10_baseline -seed 1 -duration 42s -warmup 2s \
+		-class online:rate=30,items=1,slo=800ms,tenant=farm-a \
+		-class online:rate=30,items=1,slo=800ms,tenant=farm-b
+	$(GO) run ./cmd/harvest-loadgen -spawn 2 -platform Jetson \
+		-model ViT_Base -timescale 1 -max-queue-depth 64 \
+		-name PR10 -seed 1 -duration 42s -warmup 2s \
+		-tenant-quota "hog:rate=3,burst=3,share=0.25" \
+		-class online:rate=30,items=1,slo=800ms,tenant=farm-a \
+		-class online:rate=30,items=1,slo=800ms,tenant=farm-b \
+		-class online:workers=16,items=1,slo=800ms,tenant=hog

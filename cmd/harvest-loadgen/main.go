@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"harvest/internal/loadgen"
+	"harvest/internal/serve"
 	"harvest/internal/transfer"
 )
 
@@ -80,6 +81,10 @@ func main() {
 		queueCap  = flag.Int("max-queue-depth", 0, "self-host: per-model admission queue bound (0 = server default)")
 		preproc   = flag.String("preproc", "", "self-host: encoded-image engine (cpu or cv2) for image=N classes")
 
+		// Multi-tenant fairness knobs (self-host only).
+		tenantQuantum = flag.Int("tenant-quantum", 0, "self-host: DRR quantum in request-items (0 = server default)")
+		antiStarve    = flag.Int("anti-starve-every", 0, "self-host: guaranteed lower-lane dispatch interval (0 = server default, negative disables)")
+
 		// Managed (autoscaled) self-hosted fleet: -fleet-max > 0 replaces
 		// the fixed -spawn tier with a lease registry + SLO-driven
 		// autoscaler over the same in-process replicas.
@@ -104,13 +109,27 @@ func main() {
 	)
 	var classes []loadgen.ClassConfig
 	flag.Func("class",
-		"traffic class spec, repeatable: class[:rate=R|workers=N][,items=I][,deadline=D][,slo=D][,image=PX]",
+		"traffic class spec, repeatable: class[:rate=R|workers=N][,items=I][,deadline=D][,slo=D][,image=PX][,tenant=ID]",
 		func(spec string) error {
 			cc, err := loadgen.ParseClassSpec(spec)
 			if err != nil {
 				return err
 			}
 			classes = append(classes, cc)
+			return nil
+		})
+	var tenantQuotas map[string]serve.TenantQuota
+	flag.Func("tenant-quota",
+		"self-host: per-tenant quota spec, repeatable: tenant:rate=R[,burst=B][,share=S] (\"*\" = wildcard)",
+		func(spec string) error {
+			tenant, q, err := serve.ParseTenantQuotaSpec(spec)
+			if err != nil {
+				return err
+			}
+			if tenantQuotas == nil {
+				tenantQuotas = map[string]serve.TenantQuota{}
+			}
+			tenantQuotas[tenant] = q
 			return nil
 		})
 	flag.Parse()
@@ -188,12 +207,15 @@ func main() {
 		log.Printf("self-hosting %d %s replica(s) behind an in-process router (timescale %g)",
 			*spawn, *platform, *timescale)
 		fleet, err := loadgen.StartFleet(loadgen.FleetConfig{
-			Replicas:      *spawn,
-			Platform:      *platform,
-			Models:        models,
-			TimeScale:     *timescale,
-			MaxQueueDepth: *queueCap,
-			Preproc:       *preproc,
+			Replicas:        *spawn,
+			Platform:        *platform,
+			Models:          models,
+			TimeScale:       *timescale,
+			MaxQueueDepth:   *queueCap,
+			Preproc:         *preproc,
+			TenantQuotas:    tenantQuotas,
+			TenantQuantum:   *tenantQuantum,
+			AntiStarveEvery: *antiStarve,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -60,6 +60,17 @@ func main() {
 		maxBodyBytes = flag.Int64("max-body-bytes", 0,
 			"request-body cap before proxying; raise for large base64 image batches (0 = 64 MiB default, negative disables)")
 	)
+	tenantQuotas := map[string]serve.TenantQuota{}
+	flag.Func("tenant-quota",
+		"router-level tenant admission quota tenant:rate=N[,burst=M] in fleet-aggregate items/s; '*' = wildcard tenant (repeatable; rejects answered at the router, before any replica is tried)",
+		func(spec string) error {
+			tenant, q, err := serve.ParseTenantQuotaSpec(spec)
+			if err != nil {
+				return err
+			}
+			tenantQuotas[tenant] = q
+			return nil
+		})
 	flag.Parse()
 
 	var urls []string
@@ -80,6 +91,7 @@ func main() {
 		DrainTimeout:  *drainTimeout,
 		TraceCapacity: *traceCap,
 		MaxBodyBytes:  *maxBodyBytes,
+		TenantQuotas:  tenantQuotas,
 	})
 	if err != nil {
 		log.Fatal(err)

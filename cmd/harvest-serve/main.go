@@ -111,23 +111,49 @@ func main() {
 			"edge power budget in watts; modeled draw above it also triggers offload (0 disables the power signal)")
 		linkTimescale = flag.Float64("link-timescale", 1.0,
 			"fraction of modeled uplink latency to really sleep (default 1.0 = full fidelity; negative = none)")
+		tenantQuantum = flag.Int("tenant-quantum", 0,
+			"deficit-round-robin quantum in request-items for per-tenant fair scheduling (0 = default)")
+		antiStarve = flag.Int("anti-starve-every", 0,
+			"guarantee lower-priority lanes one dispatch every N polls under saturating higher-priority load (0 = default, negative disables)")
 	)
+	var tenantQuotas map[string]serve.TenantQuota
+	flag.Func("tenant-quota",
+		"per-tenant quota spec, repeatable: tenant:rate=R[,burst=B][,share=S] (\"*\" = wildcard for unlisted tenants)",
+		func(spec string) error {
+			tenant, q, err := serve.ParseTenantQuotaSpec(spec)
+			if err != nil {
+				return err
+			}
+			if tenantQuotas == nil {
+				tenantQuotas = map[string]serve.TenantQuota{}
+			}
+			tenantQuotas[tenant] = q
+			return nil
+		})
 	flag.Parse()
 
 	cfg := core.DeploymentConfig{
-		Platform:       *platform,
-		QueueDelay:     *queueDelay,
-		Instances:      *instances,
-		TimeScale:      *timescale,
-		DrainTimeout:   *drainTimeout,
-		MaxQueueDepth:  *maxQueueDepth,
-		RealtimeBudget: *realtimeSLO,
-		TraceCapacity:  *traceCap,
-		Preproc:        *preproc,
-		PreprocWorkers: *preprocWorkers,
-		RealBackend:    *realBackend,
-		RealSeed:       *realSeed,
-		RealCheckpoint: *realCkpt,
+		Platform:        *platform,
+		QueueDelay:      *queueDelay,
+		Instances:       *instances,
+		TimeScale:       *timescale,
+		DrainTimeout:    *drainTimeout,
+		MaxQueueDepth:   *maxQueueDepth,
+		RealtimeBudget:  *realtimeSLO,
+		TraceCapacity:   *traceCap,
+		Preproc:         *preproc,
+		PreprocWorkers:  *preprocWorkers,
+		RealBackend:     *realBackend,
+		RealSeed:        *realSeed,
+		RealCheckpoint:  *realCkpt,
+		TenantQuotas:    tenantQuotas,
+		TenantQuantum:   *tenantQuantum,
+		AntiStarveEvery: *antiStarve,
+	}
+	if len(tenantQuotas) > 0 {
+		for t, q := range tenantQuotas {
+			log.Printf("tenant quota: %s rate=%g/s burst=%g share=%g", t, q.RatePerSec, q.Burst, q.MaxQueueShare)
+		}
 	}
 	if *modelsArg != "" {
 		for _, m := range strings.Split(*modelsArg, ",") {

@@ -133,6 +133,16 @@ type DeploymentConfig struct {
 	// RealSeed seeds the real backend's weight initialization
 	// (0 means 1, so deployments are reproducible by default).
 	RealSeed uint64
+	// TenantQuotas maps tenant ids (or "*" for a wildcard applied to any
+	// unlisted tenant) to per-tenant admission quotas on every model.
+	TenantQuotas map[string]serve.TenantQuota
+	// TenantQuantum is the deficit-round-robin quantum in request-items
+	// (default serve.DefaultTenantQuantum).
+	TenantQuantum int
+	// AntiStarveEvery gives lower-priority lanes a guaranteed 1-in-N
+	// dispatch under saturating higher-priority load (default
+	// serve.DefaultAntiStarveEvery; negative disables).
+	AntiStarveEvery int
 	// RealCheckpoint, when non-empty, loads the real backend's weights
 	// from this .hvt checkpoint instead of random initialization,
 	// quantizing them at load into the RealBackend precision (fp32 when
@@ -228,14 +238,17 @@ func NewDeployment(cfg DeploymentConfig) (*serve.Server, error) {
 			}
 		}
 		mc := serve.ModelConfig{
-			Name:           name,
-			Engine:         eng,
-			QueueDelay:     cfg.QueueDelay,
-			Instances:      cfg.Instances,
-			TimeScale:      cfg.TimeScale,
-			DrainTimeout:   cfg.DrainTimeout,
-			MaxQueueDepth:  cfg.MaxQueueDepth,
-			RealtimeBudget: cfg.RealtimeBudget,
+			Name:            name,
+			Engine:          eng,
+			QueueDelay:      cfg.QueueDelay,
+			Instances:       cfg.Instances,
+			TimeScale:       cfg.TimeScale,
+			DrainTimeout:    cfg.DrainTimeout,
+			MaxQueueDepth:   cfg.MaxQueueDepth,
+			RealtimeBudget:  cfg.RealtimeBudget,
+			TenantQuotas:    cfg.TenantQuotas,
+			TenantQuantum:   cfg.TenantQuantum,
+			AntiStarveEvery: cfg.AntiStarveEvery,
 		}
 		if cfg.RealBackend != "" || checkpoint != nil {
 			mc.InputSize = eng.Entry.Spec.InputSize

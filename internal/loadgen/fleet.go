@@ -34,6 +34,15 @@ type FleetConfig struct {
 	MaxQueueDepth int
 	// Preproc optionally enables the encoded-image path ("cpu"/"cv2").
 	Preproc string
+	// TenantQuotas maps tenant ids ("*" = wildcard) to per-tenant
+	// admission quotas on every replica. Note quotas are enforced
+	// per-replica: a tenant's fleet-wide budget is rate × Replicas.
+	TenantQuotas map[string]serve.TenantQuota
+	// TenantQuantum is the DRR quantum in request-items (0 = default).
+	TenantQuantum int
+	// AntiStarveEvery is the lower-lane guaranteed dispatch interval
+	// (0 = default; negative disables).
+	AntiStarveEvery int
 }
 
 // Fleet is a running self-hosted tier.
@@ -78,12 +87,15 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	}()
 	for i := 0; i < cfg.Replicas; i++ {
 		srv, err := core.NewDeployment(core.DeploymentConfig{
-			Platform:      cfg.Platform,
-			Models:        cfg.Models,
-			QueueDelay:    cfg.QueueDelay,
-			TimeScale:     cfg.TimeScale,
-			MaxQueueDepth: cfg.MaxQueueDepth,
-			Preproc:       cfg.Preproc,
+			Platform:        cfg.Platform,
+			Models:          cfg.Models,
+			QueueDelay:      cfg.QueueDelay,
+			TimeScale:       cfg.TimeScale,
+			MaxQueueDepth:   cfg.MaxQueueDepth,
+			Preproc:         cfg.Preproc,
+			TenantQuotas:    cfg.TenantQuotas,
+			TenantQuantum:   cfg.TenantQuantum,
+			AntiStarveEvery: cfg.AntiStarveEvery,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: replica %d: %w", i, err)
@@ -96,12 +108,29 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 		f.stops = append(f.stops, stop)
 		f.ReplicaURLs = append(f.ReplicaURLs, url)
 	}
+	// Mirror the per-replica tenant quotas at the router, scaled to the
+	// fleet aggregate (rate × replicas), so an abusive tenant's rejects
+	// are answered in one cheap hop instead of proxying to a replica and
+	// spilling across the pool — reject churn at the replicas is exactly
+	// the interference the quota exists to prevent. Queue share stays
+	// replica-enforced (the router has no queue view).
+	var routerQuotas map[string]serve.TenantQuota
+	if len(cfg.TenantQuotas) > 0 {
+		routerQuotas = make(map[string]serve.TenantQuota, len(cfg.TenantQuotas))
+		for tenant, q := range cfg.TenantQuotas {
+			q.RatePerSec *= float64(cfg.Replicas)
+			q.Burst *= float64(cfg.Replicas)
+			q.MaxQueueShare = 0
+			routerQuotas[tenant] = q
+		}
+	}
 	router, err := serve.NewRouter(f.ReplicaURLs, serve.RouterConfig{
 		Pool: serve.PoolConfig{
 			// Refresh load snapshots well inside a short run so
 			// queue-depth-aware dispatch works with live data.
 			ProbeInterval: 20 * time.Millisecond,
 		},
+		TenantQuotas: routerQuotas,
 	})
 	if err != nil {
 		return nil, err

@@ -69,6 +69,11 @@ type ClassConfig struct {
 	// Class is the scenario lane: "realtime", "online" or "offline"
 	// (serve.ParseClass names).
 	Class string `json:"class"`
+	// Tenant tags this class's requests with a tenant id ("" = the
+	// server's default tenant). Several classes may share one tenant,
+	// and one class name may appear under several tenants — that is the
+	// multi-tenant fairness scenario's shape.
+	Tenant string `json:"tenant,omitempty"`
 	// Rate is the open-loop mean arrival rate in requests/second (the
 	// base rate when a non-constant Shape applies).
 	Rate float64 `json:"rate_per_sec,omitempty"`
@@ -106,10 +111,11 @@ var classSLODefaults = map[string]float64{
 //	class[:key=value[,key=value...]]
 //
 // with keys rate (req/s), workers, items, deadline (duration), slo
-// (duration) and image (side px). Examples:
+// (duration), image (side px) and tenant (id). Examples:
 //
 //	realtime:rate=60,items=1,deadline=16.7ms
 //	offline:workers=2,items=8
+//	online:rate=30,tenant=farm-a
 func ParseClassSpec(spec string) (ClassConfig, error) {
 	name, rest, _ := strings.Cut(strings.TrimSpace(spec), ":")
 	cc := ClassConfig{Class: strings.ToLower(strings.TrimSpace(name)), Items: 1}
@@ -133,6 +139,8 @@ func ParseClassSpec(spec string) (ClassConfig, error) {
 				cc.Items, err = strconv.Atoi(v)
 			case "image":
 				cc.ImageSide, err = strconv.Atoi(v)
+			case "tenant":
+				cc.Tenant = v
 			case "deadline":
 				var d time.Duration
 				d, err = time.ParseDuration(v)

@@ -41,6 +41,8 @@ func latencyMs(h metrics.HistogramSnapshot) LatencyMs {
 // over the warmup-excluded window.
 type ClassReport struct {
 	Class string `json:"class"`
+	// Tenant echoes the class's tenant tag ("" = default tenant).
+	Tenant string `json:"tenant,omitempty"`
 	// Mode is "open" or "closed"; "mixed" for the run total when both
 	// disciplines were present.
 	Mode string `json:"mode"`
@@ -140,6 +142,7 @@ func buildReport(cfg Config, cols []*classStats, generatedAt time.Time) *Report 
 		cc := cfg.Classes[i]
 		cr := ClassReport{
 			Class:       cc.Class,
+			Tenant:      cc.Tenant,
 			Mode:        "open",
 			Offered:     cs.offered.Load(),
 			Completed:   cs.counts[outcomeOK].Load(),
@@ -257,9 +260,13 @@ func (r *Report) Summary() string {
 		r.Name, r.Total.Offered, r.Total.Completed,
 		r.Total.ThroughputRPS, r.Total.ItemsPerSec, r.Total.ErrorRate*100)
 	for _, c := range append(r.Classes, r.Total) {
-		out += fmt.Sprintf("  %-9s %-6s offered=%-6d ok=%-6d 429=%-5d 504=%-4d 5xx=%-3d unfin=%-4d "+
+		label := c.Class
+		if c.Tenant != "" {
+			label = c.Tenant + "/" + c.Class
+		}
+		out += fmt.Sprintf("  %-16s %-6s offered=%-6d ok=%-6d 429=%-5d 504=%-4d 5xx=%-3d unfin=%-4d "+
 			"service p50/p99 = %.1f/%.1f ms, intended p50/p99 = %.1f/%.1f ms, SLO(%.1fms) %.1f%%\n",
-			c.Class, c.Mode, c.Offered, c.Completed, c.Rejected429, c.Expired504, c.Server5xx, c.Unfinished,
+			label, c.Mode, c.Offered, c.Completed, c.Rejected429, c.Expired504, c.Server5xx, c.Unfinished,
 			c.ServiceMs.P50Ms, c.ServiceMs.P99Ms,
 			c.IntendedStartMs.P50Ms, c.IntendedStartMs.P99Ms,
 			c.SLOMs, c.SLOAttainment*100)

@@ -81,10 +81,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				r.openLoop(genCtx, i, cc, rng)
 			}(i, cc, rngs[i])
 		} else {
-			go func(i int, cc ClassConfig) {
+			go func(i int, cc ClassConfig, rng *stats.RNG) {
 				defer genWG.Done()
-				r.closedLoop(genCtx, i, cc)
-			}(i, cc)
+				r.closedLoop(genCtx, i, cc, rng)
+			}(i, cc, rngs[i])
 		}
 	}
 	genWG.Wait()
@@ -109,6 +109,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // payloads for the encoded-image path when ImageSide is set.
 func buildBody(cfg Config, cc ClassConfig) (serve.InferRequestJSON, error) {
 	body := serve.InferRequestJSON{
+		Tenant:     cc.Tenant,
 		Items:      cc.Items,
 		Class:      cc.Class,
 		DeadlineMs: cc.DeadlineMs,
@@ -190,20 +191,49 @@ func (r *runner) openLoop(genCtx context.Context, i int, cc ClassConfig, rng *st
 // requests back-to-back until the horizon. Intended start equals the
 // actual send, which is exactly the coordinated-omission blind spot
 // this mode is documented to have.
-func (r *runner) closedLoop(genCtx context.Context, i int, cc ClassConfig) {
+func (r *runner) closedLoop(genCtx context.Context, i int, cc ClassConfig, rng *stats.RNG) {
 	cs := r.cols[i]
 	warmupSec := r.cfg.Warmup.Seconds()
 	var wg sync.WaitGroup
 	for w := 0; w < cc.Workers; w++ {
 		wg.Add(1)
+		// Each worker jitters from its own seeded stream so backoff
+		// stays reproducible per -seed.
+		wrng := rng.Split()
 		go func() {
 			defer wg.Done()
+			timer := time.NewTimer(0)
+			defer timer.Stop()
+			if !timer.Stop() {
+				<-timer.C
+			}
 			for genCtx.Err() == nil {
 				now := time.Now()
 				if off := now.Sub(r.start).Seconds(); off < r.cfg.Duration.Seconds() {
 					inWindow := off >= warmupSec
 					cs.recordOffered(off, inWindow)
-					r.fire(i, now, inWindow)
+					err := r.fire(i, now, inWindow)
+					// Honor an explicit 429 Retry-After before the next
+					// iteration: a closed-loop worker that re-fires a shed
+					// request at wire speed measures its own reject storm,
+					// not the fleet — and on a quota'd tenant turns the
+					// isolated 429 budget into CPU pressure on everyone
+					// else. The hint is a floor; the added jitter breaks
+					// up the thundering herd a whole-second Retry-After
+					// would otherwise synchronize across the pool (every
+					// worker waking at once dumps a full-burst spike into
+					// the admission queue). Open-loop classes keep their
+					// schedule; only the worker that was told to back off
+					// waits.
+					if wait, ok := serve.RetryAfterHint(err); ok && wait > 0 {
+						wait += time.Duration(wrng.Float64() * float64(wait))
+						timer.Reset(wait)
+						select {
+						case <-genCtx.Done():
+							return
+						case <-timer.C:
+						}
+					}
 					continue
 				}
 				return
@@ -213,11 +243,13 @@ func (r *runner) closedLoop(genCtx context.Context, i int, cc ClassConfig) {
 	wg.Wait()
 }
 
-// fire sends one request and records its outcome against class i.
-func (r *runner) fire(i int, intended time.Time, inWindow bool) {
+// fire sends one request and records its outcome against class i,
+// returning the error so closed-loop workers can honor backpressure.
+func (r *runner) fire(i int, intended time.Time, inWindow bool) error {
 	sent := time.Now()
 	_, err := r.client.Infer(r.reqCtx, r.cfg.Model, r.bodies[i])
 	done := time.Now()
 	r.cols[i].record(done.Sub(sent).Seconds(), done.Sub(intended).Seconds(), err,
 		intended.Sub(r.start).Seconds(), inWindow)
+	return err
 }

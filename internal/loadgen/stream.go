@@ -47,6 +47,8 @@ type StreamConfig struct {
 	FramesPerCamera int
 	// Model is the model query parameter ("" = server default).
 	Model string
+	// Tenant tags every camera session ("" = server default tenant).
+	Tenant string
 	// Budget is the per-frame latency budget ("" = server default).
 	Budget time.Duration
 	// FrameSize is the square frame edge in pixels (default 96).
@@ -262,7 +264,7 @@ func fillRates(cr *CameraReport) {
 // against the intended schedule (never against server progress), and
 // charge each outcome's latency from the frame's *intended* send time.
 func runCamera(ctx context.Context, cfg StreamConfig, res *camResult, frames [][]byte, period time.Duration) error {
-	sess, err := stream.DialSession(ctx, cfg.HTTP, cfg.URL, res.camera, cfg.Model, cfg.Budget)
+	sess, err := stream.DialSession(ctx, cfg.HTTP, cfg.URL, res.camera, cfg.Model, cfg.Tenant, cfg.Budget)
 	if err != nil {
 		return err
 	}

@@ -321,6 +321,19 @@ type overloadError struct {
 func (o *overloadError) Error() string { return o.err.Error() }
 func (o *overloadError) Unwrap() error { return o.err }
 
+// RetryAfterHint extracts the server's Retry-After hint from a 429
+// error returned by Infer, for callers that disable the client's
+// internal retries (MaxRetries < 0) and manage backoff themselves —
+// e.g. a closed-loop load driver that must not hammer rejects in a
+// tight loop.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var oe *overloadError
+	if errors.As(err, &oe) && oe.hasRetryAfter {
+		return oe.retryAfter, true
+	}
+	return 0, false
+}
+
 // parseRetryAfter parses a Retry-After header value in either RFC 7231
 // form: delta-seconds ("120") or an HTTP-date. ok reports whether the
 // header was present and parseable. Negative deltas and past dates
@@ -441,6 +454,11 @@ func (c *Client) inferOnce(ctx context.Context, model string, body InferRequestJ
 		// Propagate the request id so every tier logs and traces the
 		// same identity for this request.
 		req.Header.Set(RequestIDHeader, body.ID)
+	}
+	if body.Tenant != "" {
+		// Same for the tenant: the header rides alongside the body so
+		// intermediaries that only look at headers still see it.
+		req.Header.Set(TenantHeader, body.Tenant)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {

@@ -73,6 +73,19 @@ type InferRequestJSON struct {
 	// for realtime, none otherwise). Requests that cannot meet their
 	// budget are shed with HTTP 504 instead of executed.
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// Tenant identifies the submitting tenant for fair scheduling and
+	// quotas. Empty falls back to the X-Tenant-ID header, then to the
+	// default tenant.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// tenantOf resolves the request's canonical tenant id: body field
+// first, then the X-Tenant-ID header, else the default tenant.
+func tenantOf(body string, r *http.Request) (string, error) {
+	if body == "" {
+		body = r.Header.Get(TenantHeader)
+	}
+	return ParseTenant(body)
 }
 
 // TimingsJSON is the per-stage latency breakdown of one served
@@ -107,6 +120,8 @@ type InferResponseJSON struct {
 	Timings        *TimingsJSON `json:"timings_ms,omitempty"`
 	Outputs        [][]float32  `json:"outputs,omitempty"`
 	Classification []int        `json:"classification,omitempty"`
+	// Tenant echoes the canonical tenant the request was accounted to.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ModelListJSON is the response of GET /v2/models.
@@ -210,6 +225,20 @@ type ModelMetricsJSON struct {
 	// QueueMsByClass decomposes queue latency per SLO class, keyed by
 	// class name, for classes that served requests.
 	QueueMsByClass map[string]LatencySummaryJSON `json:"queue_ms_by_class,omitempty"`
+	// Tenants decomposes activity per tenant, keyed by tenant id.
+	Tenants map[string]TenantMetricsJSON `json:"tenants,omitempty"`
+}
+
+// TenantMetricsJSON is one tenant's entry in a model's metrics block.
+type TenantMetricsJSON struct {
+	Requests int64 `json:"requests"`
+	Items    int64 `json:"items"`
+	// Shed is the tenant's isolated 429 budget: its own quota and
+	// queue-full rejections.
+	Shed       int64              `json:"shed"`
+	Expired    int64              `json:"expired"`
+	QueueDepth int64              `json:"queue_depth"`
+	QueueMs    LatencySummaryJSON `json:"queue_ms"`
 }
 
 // MetricsJSON is the response of GET /v2/metrics.
@@ -272,18 +301,36 @@ func inferBodyLimit(cfg ModelConfig) int64 {
 }
 
 // retryAfterSeconds estimates how long an overloaded model needs to
-// work off its backlog, for the 429 Retry-After header (whole seconds,
-// at least 1).
-func (s *Server) retryAfterSeconds(name string) int {
+// work off the backlog ahead of the caller's class, for the 429
+// Retry-After header (whole seconds, clamped to [1, 60]). Only the
+// caller's lane and higher-priority lanes count: an offline-flooded
+// queue must not tell a realtime client to back off for the offline
+// drain time.
+func (s *Server) retryAfterSeconds(name string, class Class) int {
 	s.mu.Lock()
 	rt, ok := s.models[name]
 	s.mu.Unlock()
 	if !ok {
 		return 1
 	}
-	drain := float64(rt.inflight.Load()) / float64(rt.cfg.MaxBatch) *
-		rt.estimatedExecDuration(rt.cfg.MaxBatch).Seconds()
-	sec := int(drain + 1)
+	queued := rt.backlogItemsAtOrAbove(class)
+	maxBatch := int64(rt.cfg.MaxBatch)
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	batches := (queued + maxBatch - 1) / maxBatch
+	instances := int64(rt.cfg.Instances)
+	if instances < 1 {
+		instances = 1
+	}
+	rounds := (batches + instances - 1) / instances
+	drain := float64(rounds) * rt.estimatedExecDuration(rt.cfg.MaxBatch).Seconds()
+	return clampRetrySeconds(int(drain + 1))
+}
+
+// clampRetrySeconds bounds a Retry-After hint to [1, 60] whole
+// seconds.
+func clampRetrySeconds(sec int) int {
 	if sec < 1 {
 		sec = 1
 	}
@@ -291,6 +338,17 @@ func (s *Server) retryAfterSeconds(name string) int {
 		sec = 60
 	}
 	return sec
+}
+
+// retryAfterFor picks the Retry-After hint for one 429: a quota
+// rejection carries the tenant's own budget estimate; a shared
+// queue-full rejection prices the lane-aware backlog.
+func (s *Server) retryAfterFor(err error, name string, class Class) int {
+	var qe *QuotaError
+	if errors.As(err, &qe) {
+		return clampRetrySeconds(int(qe.RetryAfter.Seconds()) + 1)
+	}
+	return s.retryAfterSeconds(name, class)
 }
 
 // Handler exposes the server over HTTP:
@@ -333,7 +391,7 @@ func (s *Server) Handler() http.Handler {
 			rec = trace.NewRecorder()
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = rec.WriteChrome(w)
+		_ = rec.WriteChromeFiltered(w, tenantSpanFilter(r.URL.Query().Get("tenant")))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", metrics.PromContentType)
@@ -402,12 +460,18 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 			return
 		}
+		tenant, err := tenantOf(body.Tenant, r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+			return
+		}
 		id := requestID(body.ID, r)
 		w.Header().Set(RequestIDHeader, id)
+		w.Header().Set(TenantHeader, tenant)
 		req := &Request{
 			ID: id, Model: name, Items: body.Items, Inputs: body.Inputs,
 			Images: body.Images, ImageFormat: format,
-			Class: class,
+			Class: class, Tenant: tenant,
 		}
 		if body.DeadlineMs > 0 {
 			req.Deadline = time.Now().Add(time.Duration(body.DeadlineMs * float64(time.Millisecond)))
@@ -427,7 +491,7 @@ func (s *Server) Handler() http.Handler {
 				status = http.StatusRequestEntityTooLarge
 			case errors.Is(err, ErrOverloaded):
 				status = http.StatusTooManyRequests
-				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(name)))
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterFor(err, name, class)))
 			case errors.Is(err, ErrDeadlineExpired):
 				status = http.StatusGatewayTimeout
 			case errors.Is(err, ErrServerClosed):
@@ -440,6 +504,7 @@ func (s *Server) Handler() http.Handler {
 			ID:        resp.ID,
 			Model:     resp.Model,
 			Items:     resp.Items,
+			Tenant:    tenant,
 			BatchSize: resp.BatchSize,
 			QueueMs:   resp.QueueSeconds * 1000,
 			ComputeMs: resp.ComputeSeconds * 1000,
@@ -463,7 +528,7 @@ func (s *Server) Handler() http.Handler {
 				Name:  "respond",
 				Track: "req:" + id,
 				Start: sinceEpoch(respondStart), Duration: stageDur(respondStart, time.Now()),
-				Args: map[string]any{"model": name},
+				Args: map[string]any{"model": name, "tenant": tenant},
 			})
 		}
 	})
@@ -520,9 +585,69 @@ func (s *Server) writeProm(w http.ResponseWriter) {
 				m.ClassQueueHist[class])
 		}
 	}
+	tenantCounters := []struct {
+		name, help string
+		get        func(TenantMetrics) int64
+	}{
+		{"harvest_tenant_requests_total", "Requests served per tenant.", func(t TenantMetrics) int64 { return t.Requests }},
+		{"harvest_tenant_items_total", "Images served per tenant.", func(t TenantMetrics) int64 { return t.Items }},
+		{"harvest_tenant_shed_total", "Per-tenant quota and queue-full rejections.", func(t TenantMetrics) int64 { return t.Shed }},
+		{"harvest_tenant_expired_total", "Per-tenant deadline evictions.", func(t TenantMetrics) int64 { return t.Expired }},
+	}
+	for _, c := range tenantCounters {
+		pw.Head(c.name, "counter", c.help)
+		for _, m := range ms {
+			for _, tenant := range tenantKeysSorted(m.Tenants) {
+				pw.Int(c.name,
+					metrics.PromLabels(metrics.PromLabel("model", m.Model), metrics.PromLabel("tenant", tenant)),
+					c.get(m.Tenants[tenant]))
+			}
+		}
+	}
+	pw.Head("harvest_tenant_queue_depth", "gauge", "Queued requests per tenant.")
+	for _, m := range ms {
+		for _, tenant := range tenantKeysSorted(m.Tenants) {
+			pw.Int("harvest_tenant_queue_depth",
+				metrics.PromLabels(metrics.PromLabel("model", m.Model), metrics.PromLabel("tenant", tenant)),
+				m.Tenants[tenant].QueueDepth)
+		}
+	}
+	pw.Head("harvest_tenant_queue_latency_seconds", "histogram", "Queue latency per tenant.")
+	for _, m := range ms {
+		for _, tenant := range tenantKeysSorted(m.Tenants) {
+			if h := m.Tenants[tenant].QueueHist; h.Count > 0 {
+				pw.Hist("harvest_tenant_queue_latency_seconds",
+					metrics.PromLabels(metrics.PromLabel("model", m.Model), metrics.PromLabel("tenant", tenant)), h)
+			}
+		}
+	}
 	if rec := s.Trace(); rec != nil {
 		pw.Head("harvest_trace_spans_dropped_total", "counter", "Trace spans evicted from the ring buffer.")
 		pw.Int("harvest_trace_spans_dropped_total", "", int64(rec.Dropped()))
+	}
+}
+
+// tenantKeysSorted returns tenant map keys in sorted order for
+// deterministic exposition output.
+func tenantKeysSorted(m map[string]TenantMetrics) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// tenantSpanFilter builds the ?tenant= span predicate for /v2/trace:
+// nil (keep everything) for the empty filter, else spans whose
+// "tenant" arg matches.
+func tenantSpanFilter(tenant string) func(trace.Span) bool {
+	if tenant == "" {
+		return nil
+	}
+	return func(sp trace.Span) bool {
+		v, ok := sp.Args["tenant"]
+		return ok && v == tenant
 	}
 }
 
@@ -557,6 +682,19 @@ func metricsToJSON(m ModelMetrics) ModelMetricsJSON {
 			out.QueueMsByClass = make(map[string]LatencySummaryJSON, len(m.ClassQueueHist))
 		}
 		out.QueueMsByClass[class] = histToJSON(h)
+	}
+	for tenant, tm := range m.Tenants {
+		if out.Tenants == nil {
+			out.Tenants = make(map[string]TenantMetricsJSON, len(m.Tenants))
+		}
+		out.Tenants[tenant] = TenantMetricsJSON{
+			Requests:   tm.Requests,
+			Items:      tm.Items,
+			Shed:       tm.Shed,
+			Expired:    tm.Expired,
+			QueueDepth: tm.QueueDepth,
+			QueueMs:    histToJSON(tm.QueueHist),
+		}
 	}
 	return out
 }

@@ -55,6 +55,18 @@ type RouterConfig struct {
 	// retained for GET /v2/trace). 0 means DefaultTraceCapacity;
 	// negative disables tracing.
 	TraceCapacity int
+	// TenantQuotas optionally enforces per-tenant admission rates at
+	// the router itself, before any replica is tried. Rates here are
+	// fleet-aggregate (per-replica rate × replica count, typically),
+	// with exact/"*"-wildcard resolution like replica quotas. A request
+	// rejected here costs one token-bucket check and no proxy hop —
+	// under an abusive tenant, letting every reject travel
+	// router→replica→spill→replica turns the 429 budget into pool-wide
+	// churn that inflates innocent tenants' tails. MaxQueueShare is
+	// ignored at this tier (the router has no queue view); replicas
+	// remain the authoritative enforcement point for share and for
+	// rate when no router quota is set.
+	TenantQuotas map[string]TenantQuota
 }
 
 // DefaultTraceCapacity is the trace ring-buffer size used when a
@@ -68,6 +80,7 @@ type routerMetrics struct {
 	errors    metrics.Counter // proxied requests that ultimately failed
 	failovers metrics.Counter // replica faults that moved a request to another replica
 	spills    metrics.Counter // 429 rejections that moved a request to another replica
+	quotaShed metrics.Counter // requests refused by the router-level tenant quota
 	streams   metrics.Counter // camera ingest streams proxied to a replica
 	latency   metrics.LatencyRecorder
 }
@@ -83,6 +96,13 @@ type Router struct {
 	inflight sync.WaitGroup
 
 	met routerMetrics
+
+	tmu        sync.Mutex
+	tenantReqs map[string]int64 // successfully routed requests per tenant
+	tenantShed map[string]int64 // router-quota rejections per tenant
+
+	qmu         sync.Mutex
+	quotaStates map[string]*tenantState // router-level token buckets, by tenant
 }
 
 // NewRouter builds a router over the given replica base URLs and
@@ -114,7 +134,11 @@ func newRouter(pool *Pool, cfg RouterConfig) *Router {
 	if cfg.TraceCapacity == 0 {
 		cfg.TraceCapacity = DefaultTraceCapacity
 	}
-	r := &Router{cfg: cfg, pool: pool}
+	r := &Router{cfg: cfg, pool: pool,
+		tenantReqs: map[string]int64{}, tenantShed: map[string]int64{}}
+	if len(cfg.TenantQuotas) > 0 {
+		r.quotaStates = map[string]*tenantState{}
+	}
 	if cfg.TraceCapacity > 0 {
 		r.trace = trace.NewRing(cfg.TraceCapacity)
 	}
@@ -126,6 +150,80 @@ func (r *Router) Trace() *trace.Recorder { return r.trace }
 
 // Pool exposes the replica pool (status snapshots, tests).
 func (r *Router) Pool() *Pool { return r.pool }
+
+// routerQuotaFor resolves a tenant's router-level quota: an exact
+// entry wins, then the "*" wildcard, else none.
+func (r *Router) routerQuotaFor(tenant string) (TenantQuota, bool) {
+	if q, ok := r.cfg.TenantQuotas[tenant]; ok {
+		return q, true
+	}
+	if q, ok := r.cfg.TenantQuotas["*"]; ok {
+		return q, true
+	}
+	return TenantQuota{}, false
+}
+
+// quotaState returns (creating on first use) the router's token-bucket
+// state for a tenant, aggregating into the overflow bucket past
+// maxTenantStates like the replica-side accounting does.
+func (r *Router) quotaState(tenant string) *tenantState {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	if ts, ok := r.quotaStates[tenant]; ok {
+		return ts
+	}
+	key := tenant
+	if len(r.quotaStates) >= maxTenantStates {
+		key = overflowTenant
+		if ts, ok := r.quotaStates[key]; ok {
+			return ts
+		}
+	}
+	ts := &tenantState{tenant: key}
+	r.quotaStates[key] = ts
+	return ts
+}
+
+// checkTenantQuota applies the router-level admission rate for one
+// request. On refusal it returns a *QuotaError (unwrapping to
+// ErrOverloaded → HTTP 429) carrying the tenant's own token-bucket
+// wait, and charges the rejection to the tenant's isolated router-side
+// shed counter. Only the rate gate runs here; queue share needs the
+// replicas' queue view.
+func (r *Router) checkTenantQuota(body *InferRequestJSON) error {
+	if r.quotaStates == nil {
+		return nil
+	}
+	q, ok := r.routerQuotaFor(body.Tenant)
+	if !ok || q.RatePerSec <= 0 {
+		return nil
+	}
+	items := body.Items
+	if items <= 0 {
+		items = len(body.Inputs) + len(body.Images)
+	}
+	if items <= 0 {
+		items = 1
+	}
+	ts := r.quotaState(body.Tenant)
+	if ok, wait := ts.takeTokens(float64(items), q); !ok {
+		r.met.quotaShed.Inc()
+		r.tmu.Lock()
+		r.tenantShed[body.Tenant]++
+		r.tmu.Unlock()
+		if r.trace != nil && body.ID != "" {
+			now := time.Now()
+			r.trace.Add(trace.Span{
+				Name:  "route:quota",
+				Track: "req:" + body.ID,
+				Start: sinceEpoch(now), Duration: 0,
+				Args: map[string]any{"tenant": body.Tenant, "outcome": "quota-shed"},
+			})
+		}
+		return &QuotaError{Tenant: body.Tenant, Reason: "rate", RetryAfter: wait}
+	}
+	return nil
+}
 
 // begin registers one in-flight proxied request, refusing after Close.
 func (r *Router) begin() bool {
@@ -185,6 +283,9 @@ func (r *Router) Infer(ctx context.Context, model string, body InferRequestJSON)
 	if err != nil {
 		return nil, err
 	}
+	if err := r.checkTenantQuota(&body); err != nil {
+		return nil, err
+	}
 	maxAttempts := r.cfg.MaxAttempts
 	if maxAttempts <= 0 {
 		// Every current member once; resolved per request so dynamic
@@ -206,7 +307,7 @@ func (r *Router) Infer(ctx context.Context, model string, body InferRequestJSON)
 			Name:  "route:" + rep.Name,
 			Track: "req:" + body.ID,
 			Start: sinceEpoch(began), Duration: stageDur(began, time.Now()),
-			Args: map[string]any{"model": model, "replica": rep.Name, "outcome": outcome},
+			Args: map[string]any{"model": model, "replica": rep.Name, "outcome": outcome, "tenant": body.Tenant},
 		})
 	}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -224,6 +325,11 @@ func (r *Router) Infer(ctx context.Context, model string, body InferRequestJSON)
 			rep.noteSuccess()
 			r.met.requests.Inc()
 			r.met.latency.Observe(time.Since(start).Seconds())
+			if body.Tenant != "" {
+				r.tmu.Lock()
+				r.tenantReqs[body.Tenant]++
+				r.tmu.Unlock()
+			}
 			return resp, nil
 		}
 		lastErr = err
@@ -325,14 +431,17 @@ type RouterReplicaJSON struct {
 
 // RouterJSON is the router section of GET /v2/metrics.
 type RouterJSON struct {
-	Requests        int64               `json:"requests"`
-	Errors          int64               `json:"errors"`
-	Failovers       int64               `json:"failovers"`
-	Spills          int64               `json:"spills"`
-	Streams         int64               `json:"streams"`
-	HealthyReplicas int                 `json:"healthy_replicas"`
-	LatencyMs       LatencySummaryJSON  `json:"latency_ms"`
-	Replicas        []RouterReplicaJSON `json:"replicas"`
+	Requests         int64               `json:"requests"`
+	Errors           int64               `json:"errors"`
+	Failovers        int64               `json:"failovers"`
+	Spills           int64               `json:"spills"`
+	QuotaRejects     int64               `json:"quota_rejects,omitempty"`
+	Streams          int64               `json:"streams"`
+	HealthyReplicas  int                 `json:"healthy_replicas"`
+	LatencyMs        LatencySummaryJSON  `json:"latency_ms"`
+	RequestsByTenant map[string]int64    `json:"requests_by_tenant,omitempty"`
+	ShedByTenant     map[string]int64    `json:"shed_by_tenant,omitempty"`
+	Replicas         []RouterReplicaJSON `json:"replicas"`
 }
 
 // RouterMetricsJSON is the router's GET /v2/metrics body: the models
@@ -368,6 +477,7 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 			if !ok {
 				cp := mm
 				cp.QueueMsByClass = nil
+				cp.Tenants = nil
 				byModel[mm.Model] = &cp
 				order = append(order, mm.Model)
 				agg = byModel[mm.Model]
@@ -379,6 +489,7 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 					}
 					agg.QueueMsByClass[class] = sum
 				}
+				mergeTenantMetrics(agg, mm.Tenants)
 				continue
 			}
 			agg.Requests += mm.Requests
@@ -398,6 +509,7 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 				}
 				agg.QueueMsByClass[class] = mergeLatency(agg.QueueMsByClass[class], sum)
 			}
+			mergeTenantMetrics(agg, mm.Tenants)
 		}
 	}
 	sort.Strings(order)
@@ -407,11 +519,26 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 			Errors:          r.met.errors.Load(),
 			Failovers:       r.met.failovers.Load(),
 			Spills:          r.met.spills.Load(),
+			QuotaRejects:    r.met.quotaShed.Load(),
 			Streams:         r.met.streams.Load(),
 			HealthyReplicas: r.pool.HealthyCount(),
 			LatencyMs:       histToJSON(r.met.latency.Snapshot()),
 		},
 	}
+	r.tmu.Lock()
+	if len(r.tenantReqs) > 0 {
+		out.Router.RequestsByTenant = make(map[string]int64, len(r.tenantReqs))
+		for tenant, n := range r.tenantReqs {
+			out.Router.RequestsByTenant[tenant] = n
+		}
+	}
+	if len(r.tenantShed) > 0 {
+		out.Router.ShedByTenant = make(map[string]int64, len(r.tenantShed))
+		for tenant, n := range r.tenantShed {
+			out.Router.ShedByTenant[tenant] = n
+		}
+	}
+	r.tmu.Unlock()
 	for _, name := range order {
 		out.Models = append(out.Models, *byModel[name])
 	}
@@ -428,6 +555,28 @@ func (r *Router) Metrics(ctx context.Context) RouterMetricsJSON {
 		})
 	}
 	return out
+}
+
+// mergeTenantMetrics folds one replica's per-tenant metrics block into
+// the fleet aggregate for a model: counters and queue depths sum,
+// queue-latency summaries merge like every other histogram.
+func mergeTenantMetrics(agg *ModelMetricsJSON, tenants map[string]TenantMetricsJSON) {
+	if len(tenants) == 0 {
+		return
+	}
+	if agg.Tenants == nil {
+		agg.Tenants = make(map[string]TenantMetricsJSON, len(tenants))
+	}
+	for tenant, tm := range tenants {
+		cur := agg.Tenants[tenant]
+		cur.Requests += tm.Requests
+		cur.Items += tm.Items
+		cur.Shed += tm.Shed
+		cur.Expired += tm.Expired
+		cur.QueueDepth += tm.QueueDepth
+		cur.QueueMs = mergeLatency(cur.QueueMs, tm.QueueMs)
+		agg.Tenants[tenant] = cur
+	}
 }
 
 // mergeLatency folds two latency summaries. When both carry their
@@ -540,7 +689,7 @@ func (r *Router) Handler() http.Handler {
 			rec = trace.NewRecorder()
 		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = rec.WriteChrome(w)
+		_ = rec.WriteChromeFiltered(w, tenantSpanFilter(req.URL.Query().Get("tenant")))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", metrics.PromContentType)
@@ -584,10 +733,24 @@ func (r *Router) Handler() http.Handler {
 		// one id follows the request across tiers.
 		body.ID = requestID(body.ID, req)
 		w.Header().Set(RequestIDHeader, body.ID)
+		// Canonicalize the tenant at the edge too, so router-side
+		// accounting, trace spans, and the replica all see one id.
+		tenant, err := tenantOf(body.Tenant, req)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+			return
+		}
+		body.Tenant = tenant
+		w.Header().Set(TenantHeader, tenant)
 		resp, err := r.Infer(req.Context(), name, body)
 		if err != nil {
+			var qe *QuotaError
 			var oe *overloadError
-			if errors.As(err, &oe) && oe.retryAfter > 0 {
+			if errors.As(err, &qe) {
+				// Router-level quota shed: Retry-After prices the
+				// tenant's own token-bucket refill, not fleet backlog.
+				w.Header().Set("Retry-After", strconv.Itoa(clampRetrySeconds(int(qe.RetryAfter.Seconds())+1)))
+			} else if errors.As(err, &oe) && oe.retryAfter > 0 {
 				w.Header().Set("Retry-After", strconv.Itoa(int(oe.retryAfter/time.Second)+1))
 			}
 			writeJSON(w, routerErrStatus(err), errorJSON{Error: err.Error()})
@@ -613,10 +776,37 @@ func (r *Router) writeProm(w http.ResponseWriter, ctx context.Context) {
 	pw.Int("harvest_router_failovers_total", "", r.met.failovers.Load())
 	pw.Head("harvest_router_spills_total", "counter", "Overload rejections that moved a request to another replica.")
 	pw.Int("harvest_router_spills_total", "", r.met.spills.Load())
+	pw.Head("harvest_router_quota_rejects_total", "counter", "Requests refused by the router-level tenant quota.")
+	pw.Int("harvest_router_quota_rejects_total", "", r.met.quotaShed.Load())
 	pw.Head("harvest_router_streams_total", "counter", "Camera ingest streams proxied to a replica.")
 	pw.Int("harvest_router_streams_total", "", r.met.streams.Load())
 	pw.Head("harvest_router_latency_seconds", "histogram", "End-to-end latency of successfully routed requests.")
 	pw.Hist("harvest_router_latency_seconds", "", r.met.latency.Snapshot())
+
+	r.tmu.Lock()
+	tenants := make([]string, 0, len(r.tenantReqs))
+	for tenant := range r.tenantReqs {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	if len(tenants) > 0 {
+		pw.Head("harvest_router_tenant_requests_total", "counter", "Successfully routed requests per tenant.")
+		for _, tenant := range tenants {
+			pw.Int("harvest_router_tenant_requests_total", metrics.PromLabel("tenant", tenant), r.tenantReqs[tenant])
+		}
+	}
+	shedTenants := make([]string, 0, len(r.tenantShed))
+	for tenant := range r.tenantShed {
+		shedTenants = append(shedTenants, tenant)
+	}
+	sort.Strings(shedTenants)
+	if len(shedTenants) > 0 {
+		pw.Head("harvest_router_tenant_shed_total", "counter", "Router-quota rejections per tenant.")
+		for _, tenant := range shedTenants {
+			pw.Int("harvest_router_tenant_shed_total", metrics.PromLabel("tenant", tenant), r.tenantShed[tenant])
+		}
+	}
+	r.tmu.Unlock()
 
 	pw.Head("harvest_replica_healthy", "gauge", "1 if the replica is in rotation, 0 if ejected.")
 	status := r.pool.Status()

@@ -150,6 +150,10 @@ type Request struct {
 	// become impossible. Unset, it falls back to the submission
 	// context's deadline, then to the class default (realtime only).
 	Deadline time.Time
+	// Tenant identifies the submitting tenant for fair scheduling,
+	// quotas and per-tenant metrics. Empty maps to DefaultTenant;
+	// otherwise it must satisfy ParseTenant.
+	Tenant string
 }
 
 // Response reports the outcome of a request.
@@ -236,6 +240,19 @@ type ModelConfig struct {
 	// MaxImageBytes caps one encoded image on the Images path. 0 means
 	// DefaultMaxImageBytes.
 	MaxImageBytes int64
+	// TenantQuotas maps tenant ids to admission quotas. The key "*"
+	// applies to every tenant without an explicit entry. Nil or missing
+	// entries are unlimited.
+	TenantQuotas map[string]TenantQuota
+	// TenantQuantum is the deficit-round-robin quantum, in request
+	// items, credited per tenant sub-queue visit within a lane. 0 means
+	// DefaultTenantQuantum.
+	TenantQuantum int
+	// AntiStarveEvery makes every Nth dispatch visit the lanes
+	// lowest-priority first, so offline work is guaranteed a 1-in-N
+	// share under saturating higher-priority load. 0 means
+	// DefaultAntiStarveEvery; negative disables (strict priority).
+	AntiStarveEvery int
 }
 
 // Lifecycle states of a pending request. The submitter and the batcher
@@ -252,9 +269,11 @@ const (
 type pending struct {
 	req      *Request
 	class    Class
-	deadline time.Time // zero = none
-	submitAt time.Time // Submit entry (admit stage start)
-	admitted time.Time // admission-slot reservation (preprocess stage start)
+	tenant   string       // canonical tenant id (DRR sub-queue key)
+	ts       *tenantState // per-tenant accounting, set at admission
+	deadline time.Time    // zero = none
+	submitAt time.Time    // Submit entry (admit stage start)
+	admitted time.Time    // admission-slot reservation (preprocess stage start)
 	// preprocSec is the wall time the preprocess stage took; zero when
 	// the request carried no encoded images.
 	preprocSec float64
@@ -330,14 +349,31 @@ type ModelMetrics struct {
 	// ClassQueueHist holds the per-class queue histograms (same keys as
 	// ClassQueueLatency).
 	ClassQueueHist map[string]metrics.HistogramSnapshot
+	// Tenants decomposes activity per tenant (keyed by tenant id) once
+	// any request has carried tenant identity (the default tenant
+	// included).
+	Tenants map[string]TenantMetrics
 }
 
 type modelRuntime struct {
 	cfg ModelConfig
-	// queues holds one admission lane per SLO class; the batcher drains
-	// them in laneOrder. Each lane's capacity is MaxQueueDepth, so a
-	// send by an admitted request never blocks.
-	queues   [numClasses]chan *pending
+	// qmu guards the admission lanes: one deficit-round-robin lane per
+	// SLO class, each holding per-tenant sub-queues. The batcher drains
+	// them in laneOrder (with a bounded anti-starvation share for lower
+	// lanes); within a lane, tenants share capacity fairly by DRR.
+	qmu   sync.Mutex
+	lanes [numClasses]*drrLane
+	// polls counts successful pops (under qmu); every AntiStarveEvery-th
+	// pop prefers the lowest-priority lane.
+	polls uint64
+	// notify wakes the single batcher goroutine after an enqueue. It is
+	// buffered(1): a pending wakeup is never lost, and an enqueue never
+	// blocks.
+	notify chan struct{}
+	// tmu guards the per-tenant accounting map.
+	tmu     sync.Mutex
+	tenants map[string]*tenantState
+
 	closing  chan struct{} // closed to start graceful drain
 	abort    chan struct{} // closed when the drain timeout expires
 	drained  chan struct{} // closed when shutdown has failed all stragglers
@@ -422,6 +458,12 @@ func (s *Server) Register(cfg ModelConfig) error {
 	if cfg.MaxImageBytes <= 0 {
 		cfg.MaxImageBytes = DefaultMaxImageBytes
 	}
+	if cfg.TenantQuantum <= 0 {
+		cfg.TenantQuantum = DefaultTenantQuantum
+	}
+	if cfg.AntiStarveEvery == 0 {
+		cfg.AntiStarveEvery = DefaultAntiStarveEvery
+	}
 	if cfg.Preproc != nil && cfg.Engine.Real != nil && cfg.InputSize > 0 &&
 		cfg.Preproc.OutRes() != cfg.InputSize {
 		return fmt.Errorf("serve: model %s: preprocessor output %d does not match input size %d",
@@ -440,12 +482,14 @@ func (s *Server) Register(cfg ModelConfig) error {
 	}
 	rt := &modelRuntime{
 		cfg:     cfg,
+		notify:  make(chan struct{}, 1),
+		tenants: make(map[string]*tenantState),
 		closing: make(chan struct{}),
 		abort:   make(chan struct{}),
 		drained: make(chan struct{}),
 	}
-	for c := range rt.queues {
-		rt.queues[c] = make(chan *pending, cfg.MaxQueueDepth)
+	for c := range rt.lanes {
+		rt.lanes[c] = newDRRLane(cfg.TenantQuantum)
 	}
 	s.models[cfg.Name] = rt
 
@@ -521,36 +565,89 @@ func stampRecv(p *pending) *pending {
 	return p
 }
 
-// poll takes the next queued request without blocking, preferring
-// higher-priority lanes. Under backlog this is how realtime work
-// overtakes online and offline work.
-func (rt *modelRuntime) poll() *pending {
-	for _, c := range laneOrder {
-		select {
-		case p := <-rt.queues[c]:
-			return stampRecv(p)
-		default:
-		}
+// enqueue places an admitted request into its tenant's sub-queue in
+// the class lane and wakes the batcher. It cannot fail: admit()
+// bounds lane occupancy, and the lanes are unbounded deques.
+func (rt *modelRuntime) enqueue(p *pending) {
+	rt.qmu.Lock()
+	rt.lanes[p.class].push(p)
+	rt.qmu.Unlock()
+	select {
+	case rt.notify <- struct{}{}:
+	default:
 	}
-	return nil
 }
 
-// recv blocks for the next queued request, preferring higher-priority
-// lanes. Returns nil when the runtime starts closing.
+// poll takes the next queued request without blocking, preferring
+// higher-priority lanes. Under backlog this is how realtime work
+// overtakes online and offline work — except every AntiStarveEvery-th
+// pop, which prefers the lowest lane so sustained realtime load cannot
+// starve offline work forever. Within a lane, tenants are served by
+// deficit round-robin.
+func (rt *modelRuntime) poll() *pending {
+	rt.qmu.Lock()
+	every := rt.cfg.AntiStarveEvery
+	reversed := every > 0 && rt.polls%uint64(every) == uint64(every-1)
+	var p *pending
+	for i := range laneOrder {
+		c := laneOrder[i]
+		if reversed {
+			c = laneOrder[len(laneOrder)-1-i]
+		}
+		if p = rt.lanes[c].pop(); p != nil {
+			rt.polls++
+			break
+		}
+	}
+	rt.qmu.Unlock()
+	return stampRecv(p)
+}
+
+// recv blocks for the next queued request. Returns nil when the
+// runtime starts closing. Safe because the batcher is the lanes' only
+// consumer: a producer that enqueues between the failed poll and the
+// select has already made a notify send (buffered, never dropped), so
+// the wakeup cannot be lost.
 func (rt *modelRuntime) recv() *pending {
-	if p := rt.poll(); p != nil {
-		return p
+	for {
+		if p := rt.poll(); p != nil {
+			return p
+		}
+		select {
+		case <-rt.notify:
+		case <-rt.closing:
+			return nil
+		}
 	}
-	select {
-	case p := <-rt.queues[ClassRealtime]:
-		return stampRecv(p)
-	case p := <-rt.queues[ClassOnline]:
-		return stampRecv(p)
-	case p := <-rt.queues[ClassOffline]:
-		return stampRecv(p)
-	case <-rt.closing:
-		return nil
+}
+
+// release returns a pending's admission slot and tenant occupancy,
+// exactly once per pending, when it leaves the queue for any reason
+// (dispatch, eviction, shutdown).
+func (rt *modelRuntime) release(p *pending) {
+	rt.inflight.Add(-1)
+	if p.ts != nil {
+		p.ts.queuedReqs.Add(-1)
+		p.ts.queuedItems.Add(int64(-itemsOf(p)))
 	}
+}
+
+// backlogItemsAtOrAbove sums the queued items a new submission of the
+// given class would wait behind: its own lane plus every
+// higher-priority lane. This is the lane-aware backlog behind
+// Retry-After hints — an offline flood must not inflate a realtime
+// caller's backoff.
+func (rt *modelRuntime) backlogItemsAtOrAbove(class Class) int64 {
+	rt.qmu.Lock()
+	defer rt.qmu.Unlock()
+	var items int64
+	for _, c := range laneOrder {
+		items += int64(rt.lanes[c].items)
+		if c == class {
+			break
+		}
+	}
+	return items
 }
 
 // dispatch claims the batch's pendings and hands the survivors to an
@@ -570,13 +667,16 @@ func (rt *modelRuntime) dispatch(batches chan<- []*pending, batch []*pending) bo
 	horizon := time.Now().Add(est)
 	live := batch[:0]
 	for _, p := range batch {
-		rt.inflight.Add(-1)
+		rt.release(p)
 		if !p.claim() {
 			rt.met.cancelled.Inc()
 			continue
 		}
 		if !p.deadline.IsZero() && horizon.After(p.deadline) {
 			rt.met.expired.Inc()
+			if p.ts != nil {
+				p.ts.expired.Inc()
+			}
 			p.err <- fmt.Errorf("%w: model %s, batch of %d", ErrDeadlineExpired, rt.cfg.Name, items)
 			continue
 		}
@@ -662,12 +762,9 @@ func (rt *modelRuntime) batcherLoop(batches chan<- []*pending) {
 			p := rt.poll()
 			if p == nil {
 				select {
-				case p = <-rt.queues[ClassRealtime]:
-					stampRecv(p)
-				case p = <-rt.queues[ClassOnline]:
-					stampRecv(p)
-				case p = <-rt.queues[ClassOffline]:
-					stampRecv(p)
+				case <-rt.notify:
+					// New work enqueued; re-poll through the DRR lanes.
+					continue
 				case <-timer.C:
 					armed = false
 					break fill
@@ -773,7 +870,7 @@ func (rt *modelRuntime) failQueued() {
 // failPending fails one undispatched pending (unless it was already
 // cancelled by its submitter).
 func (rt *modelRuntime) failPending(p *pending) {
-	rt.inflight.Add(-1)
+	rt.release(p)
 	if p.claim() {
 		rt.met.errors.Inc()
 		p.err <- ErrServerClosed
@@ -806,6 +903,9 @@ func (rt *modelRuntime) evictExpired(batch []*pending) []*pending {
 	for _, p := range batch {
 		if !p.deadline.IsZero() && horizon.After(p.deadline) {
 			rt.met.expired.Inc()
+			if p.ts != nil {
+				p.ts.expired.Inc()
+			}
 			p.err <- fmt.Errorf("%w: model %s, evicted at execution start", ErrDeadlineExpired, rt.cfg.Name)
 			continue
 		}
@@ -856,7 +956,7 @@ func (rt *modelRuntime) recordRequestSpans(p *pending, execStart, execEnd time.T
 		}
 		rt.cfg.Trace.Add(trace.Span{
 			Name: name, Track: track, Start: start, Duration: d,
-			Args: map[string]any{"model": rt.cfg.Name, "class": p.class.String()},
+			Args: map[string]any{"model": rt.cfg.Name, "class": p.class.String(), "tenant": p.tenant},
 		})
 	}
 	add("admit", p.submitAt, p.admitted)
@@ -871,6 +971,7 @@ func (rt *modelRuntime) recordRequestSpans(p *pending, execStart, execEnd time.T
 		Duration: stageDur(execStart, execEnd),
 		Args: map[string]any{
 			"model": rt.cfg.Name, "class": p.class.String(),
+			"tenant":      p.tenant,
 			"batch_items": batchItems,
 		},
 	})
@@ -960,6 +1061,11 @@ func (rt *modelRuntime) runBatch(batch []*pending, track string) {
 		rt.met.classQueueLat[p.class].Observe(queueSec)
 		rt.met.requests.Inc()
 		rt.met.items.Add(int64(p.req.Items))
+		if p.ts != nil {
+			p.ts.requests.Inc()
+			p.ts.items.Add(int64(p.req.Items))
+			p.ts.queueLat.Observe(queueSec)
+		}
 		p.done <- resp
 	}
 }
@@ -1011,6 +1117,11 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	if req.Class < 0 || req.Class >= numClasses {
 		return nil, fmt.Errorf("%w: %d", ErrBadClass, int(req.Class))
 	}
+	tenant, err := ParseTenant(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	req.Tenant = tenant
 	s.mu.Lock()
 	rt, ok := s.models[req.Model]
 	closed := s.closed
@@ -1043,16 +1154,28 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ts := rt.tenantState(tenant)
 	deadline := rt.resolveDeadline(ctx, req)
 	if !deadline.IsZero() && !time.Now().Before(deadline) {
 		// Dead on arrival: shed without occupying a queue slot.
 		rt.met.expired.Inc()
+		ts.expired.Inc()
 		return nil, fmt.Errorf("%w: model %s, expired on submit", ErrDeadlineExpired, rt.cfg.Name)
+	}
+	// Tenant quotas gate before the shared queue: an over-quota tenant
+	// burns its own 429 budget without having touched a queue slot.
+	if err := rt.checkQuota(ts, tenant, req.Items); err != nil {
+		rt.met.shed.Inc()
+		ts.shed.Inc()
+		return nil, err
 	}
 	if !rt.admit() {
 		rt.met.shed.Inc()
+		ts.shed.Inc()
 		return nil, fmt.Errorf("%w: model %s, queue depth %d", ErrOverloaded, rt.cfg.Name, rt.cfg.MaxQueueDepth)
 	}
+	ts.queuedReqs.Add(1)
+	ts.queuedItems.Add(int64(req.Items))
 	admitted := time.Now()
 	preprocSec := 0.0
 	if len(req.Images) > 0 {
@@ -1071,6 +1194,8 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		}
 		if err != nil {
 			rt.inflight.Add(-1)
+			ts.queuedReqs.Add(-1)
+			ts.queuedItems.Add(int64(-req.Items))
 			rt.met.errors.Inc()
 			return nil, fmt.Errorf("%w: model %s: %v", ErrPreprocess, rt.cfg.Name, err)
 		}
@@ -1081,6 +1206,8 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 	p := &pending{
 		req:        req,
 		class:      req.Class,
+		tenant:     tenant,
+		ts:         ts,
 		deadline:   deadline,
 		submitAt:   submitAt,
 		admitted:   admitted,
@@ -1089,15 +1216,7 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		done:       make(chan *Response, 1),
 		err:        make(chan error, 1),
 	}
-	select {
-	case rt.queues[req.Class] <- p:
-	default:
-		// Unreachable in practice: admit() bounds lane occupancy below
-		// capacity. Kept as a safety net against accounting bugs.
-		rt.inflight.Add(-1)
-		rt.met.shed.Inc()
-		return nil, fmt.Errorf("%w: model %s, lane %s full", ErrOverloaded, rt.cfg.Name, req.Class)
-	}
+	rt.enqueue(p)
 	// Once enqueued, the request is guaranteed an outcome: the batcher
 	// either claims it (response, shed, or backend error arrives) or
 	// the shutdown path fails it. Queued work is drained, not
@@ -1123,7 +1242,7 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*Response, error) {
 		}
 	case <-rt.drained:
 		if p.claim() {
-			rt.inflight.Add(-1)
+			rt.release(p)
 			return nil, ErrServerClosed
 		}
 		select {
@@ -1297,6 +1416,7 @@ func (rt *modelRuntime) snapshot() ModelMetrics {
 		m.ClassQueueLatency[c.String()] = h.Summary()
 		m.ClassQueueHist[c.String()] = h
 	}
+	m.Tenants = rt.tenantSnapshots()
 	return m
 }
 

@@ -1,0 +1,417 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harvest/internal/metrics"
+	"harvest/internal/stats"
+)
+
+// DefaultTenant labels traffic that carries no tenant identity. It is
+// a real tenant like any other: untagged clients share one DRR
+// sub-queue and one quota budget instead of bypassing isolation.
+const DefaultTenant = "default"
+
+// TenantHeader carries the caller's tenant identity on the HTTP path.
+const TenantHeader = "X-Tenant-ID"
+
+// ErrBadTenant rejects a request whose tenant identifier is malformed.
+var ErrBadTenant = errors.New("serve: invalid tenant id")
+
+// DefaultTenantQuantum is the deficit-round-robin quantum, in request
+// items, credited to a tenant's sub-queue per scheduler visit. Eight
+// items covers the largest offline batch the benchmarks submit, so one
+// visit can always serve at least one queued request of any class.
+const DefaultTenantQuantum = 8
+
+// DefaultAntiStarveEvery bounds priority-lane starvation: every Nth
+// successful dispatch the batcher visits the lanes lowest-priority
+// first, guaranteeing offline work a 1-in-N share of dispatches under
+// saturating realtime/online load.
+const DefaultAntiStarveEvery = 8
+
+// maxTenantStates bounds the per-tenant accounting map. Tenants past
+// the cap share one aggregated overflow state (scheduling fairness is
+// unaffected: DRR sub-queues key on the wire tenant and are bounded by
+// queue depth, not by this cap).
+const maxTenantStates = 256
+
+// overflowTenant keys the aggregated state for tenants past
+// maxTenantStates. The leading '~' cannot appear in a parsed tenant
+// id, so it never collides with a real tenant.
+const overflowTenant = "~other"
+
+// maxTenantLen bounds a tenant identifier's length on the wire.
+const maxTenantLen = 64
+
+// ParseTenant canonicalizes a wire tenant identifier: empty maps to
+// DefaultTenant; otherwise the id must be 1-64 characters drawn from
+// [A-Za-z0-9._-].
+func ParseTenant(s string) (string, error) {
+	if s == "" {
+		return DefaultTenant, nil
+	}
+	if len(s) > maxTenantLen {
+		return "", fmt.Errorf("%w: %d chars exceeds %d", ErrBadTenant, len(s), maxTenantLen)
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return "", fmt.Errorf("%w: %q", ErrBadTenant, s)
+		}
+	}
+	return s, nil
+}
+
+// TenantQuota bounds one tenant's admission budget on a replica. The
+// zero value is unlimited.
+type TenantQuota struct {
+	// RatePerSec is the sustained admission rate in items per second,
+	// enforced by a token bucket. 0 = unlimited.
+	RatePerSec float64
+	// Burst is the token bucket depth in items. 0 = max(RatePerSec,
+	// one request's items), i.e. roughly one second of headroom.
+	Burst float64
+	// MaxQueueShare caps the fraction of the model's MaxQueueDepth
+	// this tenant may occupy with queued requests. 0 = no cap.
+	MaxQueueShare float64
+}
+
+// ParseTenantQuotaSpec parses "tenant:rate=R,burst=B,share=S". The
+// tenant "*" applies the quota to every tenant without an explicit
+// entry. All keys are optional.
+func ParseTenantQuotaSpec(spec string) (string, TenantQuota, error) {
+	name, rest, found := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", TenantQuota{}, fmt.Errorf("serve: tenant quota spec %q has no tenant", spec)
+	}
+	if name != "*" {
+		var err error
+		if name, err = ParseTenant(name); err != nil {
+			return "", TenantQuota{}, err
+		}
+	}
+	var q TenantQuota
+	if !found {
+		return name, q, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || f < 0 {
+			return "", TenantQuota{}, fmt.Errorf("serve: tenant quota spec %q: bad value for %q", spec, k)
+		}
+		switch strings.TrimSpace(k) {
+		case "rate":
+			q.RatePerSec = f
+		case "burst":
+			q.Burst = f
+		case "share":
+			if f > 1 {
+				return "", TenantQuota{}, fmt.Errorf("serve: tenant quota spec %q: share %g > 1", spec, f)
+			}
+			q.MaxQueueShare = f
+		default:
+			return "", TenantQuota{}, fmt.Errorf("serve: tenant quota spec %q: unknown key %q", spec, k)
+		}
+	}
+	return name, q, nil
+}
+
+// QuotaError rejects a submission that exceeded its tenant's quota.
+// It unwraps to ErrOverloaded (the request was never admitted;
+// retrying after RetryAfter is safe), but carries the tenant and the
+// exceeded dimension so the 429 budget stays isolated per tenant.
+type QuotaError struct {
+	Tenant string
+	// Reason names the exceeded dimension: "rate" or "share".
+	Reason string
+	// RetryAfter estimates when this tenant's budget frees up.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: tenant %q over %s quota, retry in %s",
+		e.Tenant, e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+func (e *QuotaError) Unwrap() error { return ErrOverloaded }
+
+// tenantQueue is one tenant's FIFO inside a class lane.
+type tenantQueue struct {
+	tenant  string
+	reqs    []*pending
+	deficit int // accumulated DRR credit, in items
+}
+
+// drrLane is one class lane: per-tenant FIFO sub-queues drained by
+// deficit round-robin. Not safe for concurrent use; the runtime's qmu
+// guards it.
+type drrLane struct {
+	quantum int
+	queues  map[string]*tenantQueue
+	ring    []*tenantQueue // active tenants in visit order
+	cur     int            // ring cursor
+	// credited records whether the queue at cur already received its
+	// quantum for the current visit, so a pop that resumes on the same
+	// queue does not re-credit it.
+	credited bool
+	reqs     int // total queued requests across tenants
+	items    int // total queued items across tenants
+}
+
+func newDRRLane(quantum int) *drrLane {
+	if quantum < 1 {
+		quantum = 1
+	}
+	return &drrLane{quantum: quantum, queues: make(map[string]*tenantQueue)}
+}
+
+// push appends p to its tenant's sub-queue, activating the tenant at
+// the back of the ring if it had nothing queued.
+func (l *drrLane) push(p *pending) {
+	q, ok := l.queues[p.tenant]
+	if !ok {
+		q = &tenantQueue{tenant: p.tenant}
+		l.queues[p.tenant] = q
+		l.ring = append(l.ring, q)
+	}
+	q.reqs = append(q.reqs, p)
+	l.reqs++
+	l.items += itemsOf(p)
+}
+
+// pop serves the next request under deficit round-robin: the cursor's
+// queue is credited one quantum per visit and serves heads while its
+// deficit covers them; otherwise the cursor advances. A tenant whose
+// queue empties leaves the ring and forfeits its deficit. Returns nil
+// when the lane is empty.
+func (l *drrLane) pop() *pending {
+	if len(l.ring) == 0 {
+		return nil
+	}
+	for {
+		q := l.ring[l.cur]
+		if !l.credited {
+			q.deficit += l.quantum
+			l.credited = true
+		}
+		head := q.reqs[0]
+		need := itemsOf(head)
+		if q.deficit >= need {
+			q.deficit -= need
+			q.reqs[0] = nil
+			q.reqs = q.reqs[1:]
+			l.reqs--
+			l.items -= need
+			if len(q.reqs) == 0 {
+				delete(l.queues, q.tenant)
+				l.ring = append(l.ring[:l.cur], l.ring[l.cur+1:]...)
+				if l.cur >= len(l.ring) {
+					l.cur = 0
+				}
+				l.credited = false
+			}
+			return head
+		}
+		l.cur = (l.cur + 1) % len(l.ring)
+		l.credited = false
+	}
+}
+
+func itemsOf(p *pending) int {
+	if p.req.Items < 1 {
+		return 1
+	}
+	return p.req.Items
+}
+
+// tenantState is one tenant's per-model accounting: queue occupancy
+// for the share quota, the rate-limit token bucket, and served/shed
+// counters for the per-tenant metrics section.
+type tenantState struct {
+	tenant      string
+	queuedReqs  atomic.Int64 // admitted, not yet dispatched/evicted
+	queuedItems atomic.Int64
+
+	mu         sync.Mutex // guards tokens/lastRefill
+	tokens     float64
+	lastRefill time.Time
+
+	requests metrics.Counter // requests served
+	items    metrics.Counter // items served
+	shed     metrics.Counter // quota or queue-full rejections
+	expired  metrics.Counter // deadline evictions
+	queueLat metrics.LatencyRecorder
+}
+
+// takeTokens debits n items from the tenant's token bucket. On refusal
+// it returns the wait until the bucket covers n.
+func (ts *tenantState) takeTokens(n float64, q TenantQuota) (bool, time.Duration) {
+	if q.RatePerSec <= 0 {
+		return true, 0
+	}
+	burst := q.Burst
+	if burst <= 0 {
+		burst = q.RatePerSec
+	}
+	if burst < n {
+		// A request larger than the bucket must still be servable.
+		burst = n
+	}
+	now := time.Now()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.lastRefill.IsZero() {
+		ts.tokens = burst
+	} else {
+		ts.tokens += now.Sub(ts.lastRefill).Seconds() * q.RatePerSec
+		if ts.tokens > burst {
+			ts.tokens = burst
+		}
+	}
+	ts.lastRefill = now
+	if ts.tokens >= n {
+		ts.tokens -= n
+		return true, 0
+	}
+	wait := time.Duration((n - ts.tokens) / q.RatePerSec * float64(time.Second))
+	return false, wait
+}
+
+// TenantMetrics is a point-in-time snapshot of one tenant's activity
+// on one model. Latency summaries are in seconds.
+type TenantMetrics struct {
+	Tenant   string
+	Requests int64
+	Items    int64
+	// Shed counts this tenant's quota and queue-full rejections — its
+	// isolated 429 budget.
+	Shed    int64
+	Expired int64
+	// QueueDepth is the tenant's current queued-request occupancy.
+	QueueDepth   int64
+	QueueLatency stats.Summary
+	QueueHist    metrics.HistogramSnapshot
+}
+
+// tenantState returns (creating on first use) the accounting state for
+// a tenant, aggregating into the overflow state past maxTenantStates.
+func (rt *modelRuntime) tenantState(tenant string) *tenantState {
+	rt.tmu.Lock()
+	defer rt.tmu.Unlock()
+	if ts, ok := rt.tenants[tenant]; ok {
+		return ts
+	}
+	key := tenant
+	if len(rt.tenants) >= maxTenantStates {
+		key = overflowTenant
+		if ts, ok := rt.tenants[key]; ok {
+			return ts
+		}
+	}
+	ts := &tenantState{tenant: key}
+	rt.tenants[key] = ts
+	return ts
+}
+
+// quotaFor resolves a tenant's quota: an exact entry wins, then the
+// "*" wildcard, else unlimited.
+func (rt *modelRuntime) quotaFor(tenant string) (TenantQuota, bool) {
+	if q, ok := rt.cfg.TenantQuotas[tenant]; ok {
+		return q, true
+	}
+	if q, ok := rt.cfg.TenantQuotas["*"]; ok {
+		return q, true
+	}
+	return TenantQuota{}, false
+}
+
+// checkQuota enforces the tenant's queue-share cap and admission rate
+// before a queue slot is reserved. Returns a *QuotaError (unwrapping
+// to ErrOverloaded) on refusal.
+func (rt *modelRuntime) checkQuota(ts *tenantState, tenant string, items int) error {
+	q, ok := rt.quotaFor(tenant)
+	if !ok {
+		return nil
+	}
+	if q.MaxQueueShare > 0 {
+		cap := int64(q.MaxQueueShare * float64(rt.cfg.MaxQueueDepth))
+		if cap < 1 {
+			cap = 1
+		}
+		if ts.queuedReqs.Load() >= cap {
+			return &QuotaError{Tenant: tenant, Reason: "share",
+				RetryAfter: rt.tenantDrainEstimate(ts)}
+		}
+	}
+	if ok, wait := ts.takeTokens(float64(items), q); !ok {
+		return &QuotaError{Tenant: tenant, Reason: "rate", RetryAfter: wait}
+	}
+	return nil
+}
+
+// tenantDrainEstimate predicts how long this tenant's queued items
+// take to drain, pricing its backlog alone (fair scheduling serves it
+// regardless of other tenants' queues).
+func (rt *modelRuntime) tenantDrainEstimate(ts *tenantState) time.Duration {
+	queued := ts.queuedItems.Load()
+	if queued < 1 {
+		queued = 1
+	}
+	maxBatch := int64(rt.cfg.MaxBatch)
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	batches := (queued + maxBatch - 1) / maxBatch
+	instances := int64(rt.cfg.Instances)
+	if instances < 1 {
+		instances = 1
+	}
+	rounds := (batches + instances - 1) / instances
+	return rt.cfg.QueueDelay + time.Duration(rounds)*rt.estimatedExecDuration(rt.cfg.MaxBatch)
+}
+
+// tenantSnapshots builds the per-tenant metrics section, sorted by
+// tenant for deterministic output.
+func (rt *modelRuntime) tenantSnapshots() map[string]TenantMetrics {
+	rt.tmu.Lock()
+	states := make([]*tenantState, 0, len(rt.tenants))
+	for _, ts := range rt.tenants {
+		states = append(states, ts)
+	}
+	rt.tmu.Unlock()
+	if len(states) == 0 {
+		return nil
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].tenant < states[j].tenant })
+	out := make(map[string]TenantMetrics, len(states))
+	for _, ts := range states {
+		h := ts.queueLat.Snapshot()
+		out[ts.tenant] = TenantMetrics{
+			Tenant:       ts.tenant,
+			Requests:     ts.requests.Load(),
+			Items:        ts.items.Load(),
+			Shed:         ts.shed.Load(),
+			Expired:      ts.expired.Load(),
+			QueueDepth:   ts.queuedReqs.Load(),
+			QueueLatency: h.Summary(),
+			QueueHist:    h,
+		}
+	}
+	return out
+}

@@ -30,18 +30,21 @@ type ClientSession struct {
 }
 
 // DialSession opens a streaming ingest session for camera against a
-// harvest-serve (or harvest-router) base URL. model and budget zero
-// values defer to the server's configuration. The returned session is
-// live once DialSession returns: the server has accepted the camera
+// harvest-serve (or harvest-router) base URL. model, tenant and budget
+// zero values defer to the server's configuration. The returned session
+// is live once DialSession returns: the server has accepted the camera
 // (or this call failed with its HTTP status, e.g. 409 for a duplicate
 // camera ID).
-func DialSession(ctx context.Context, hc *http.Client, baseURL, camera, model string, budget time.Duration) (*ClientSession, error) {
+func DialSession(ctx context.Context, hc *http.Client, baseURL, camera, model, tenant string, budget time.Duration) (*ClientSession, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
 	q := url.Values{}
 	if model != "" {
 		q.Set("model", model)
+	}
+	if tenant != "" {
+		q.Set("tenant", tenant)
 	}
 	if budget > 0 {
 		q.Set("budget_ms", fmt.Sprintf("%g", float64(budget)/float64(time.Millisecond)))

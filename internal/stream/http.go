@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"harvest/internal/metrics"
+	"harvest/internal/serve"
 )
 
 // Handler serves the streaming ingest API:
@@ -57,7 +59,11 @@ func (ing *Ingest) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		budget = time.Duration(ms * float64(time.Millisecond))
 	}
-	sess, err := ing.Open(camera, r.URL.Query().Get("model"), budget)
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = r.Header.Get(serve.TenantHeader)
+	}
+	sess, err := ing.Open(camera, r.URL.Query().Get("model"), tenant, budget)
 	if err != nil {
 		code := http.StatusBadRequest
 		if strings.Contains(err.Error(), ErrSessionActive.Error()) {
@@ -67,6 +73,7 @@ func (ing *Ingest) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sess.Close()
+	w.Header().Set(serve.TenantHeader, sess.Tenant)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
@@ -98,6 +105,11 @@ func (ing *Ingest) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		sess.HandleFrame(r.Context(), f, emit)
 	}
+	// The client's side of the stream is over (EOF, or a mid-stream
+	// disconnect surfaced as a body read error): release the camera ID
+	// *before* draining in-flight completions, so a reconnecting camera
+	// is not refused with 409 while a queued frame finishes elsewhere.
+	sess.detach()
 	// Drain in-flight completions, then close the stream with the
 	// session's accounting.
 	sess.wg.Wait()
@@ -129,6 +141,8 @@ type MetricsSnapshot struct {
 	// UplinkMs summarizes the modeled upload cost of cloud-shipped
 	// frames.
 	UplinkMs LatencySummaryJSON `json:"uplink_ms"`
+	// Tenants decomposes session/frame volume per tenant.
+	Tenants map[string]TenantStreamStats `json:"tenants,omitempty"`
 }
 
 // LatencySummaryJSON is a milliseconds quantile summary.
@@ -165,6 +179,7 @@ func (ing *Ingest) MetricsJSON() any {
 		Failed:         ing.met.failed.Load(),
 		E2EMs:          latencySummary(&ing.met.e2e),
 		UplinkMs:       latencySummary(&ing.met.uplink),
+		Tenants:        ing.TenantStats(),
 	}
 }
 
@@ -190,4 +205,22 @@ func (ing *Ingest) WriteProm(w io.Writer) {
 	up := latencySummary(&ing.met.uplink)
 	fmt.Fprintf(w, "# HELP harvest_stream_uplink_p99_ms Modeled edge-to-cloud upload P99 for offloaded frames.\n"+
 		"# TYPE harvest_stream_uplink_p99_ms gauge\nharvest_stream_uplink_p99_ms %g\n", up.P99)
+	tenants := ing.TenantStats()
+	if len(tenants) > 0 {
+		names := make([]string, 0, len(tenants))
+		for t := range tenants {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP harvest_stream_tenant_frames_total Frames received per tenant.\n"+
+			"# TYPE harvest_stream_tenant_frames_total counter\n")
+		for _, t := range names {
+			fmt.Fprintf(w, "harvest_stream_tenant_frames_total%s %d\n", metrics.PromLabel("tenant", t), tenants[t].Frames)
+		}
+		fmt.Fprintf(w, "# HELP harvest_stream_tenant_served_total Frames served per tenant (edge or cloud).\n"+
+			"# TYPE harvest_stream_tenant_served_total counter\n")
+		for _, t := range names {
+			fmt.Fprintf(w, "harvest_stream_tenant_served_total%s %d\n", metrics.PromLabel("tenant", t), tenants[t].Served)
+		}
+	}
 }

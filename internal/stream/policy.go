@@ -178,7 +178,7 @@ func (p *OffloadPolicy) Decide(local Backend, model string, payloadBytes int, es
 // (a second frame queues behind it); the propagation delay is slept
 // outside the lock (propagation pipelines). Returns the cloud response
 // and the modeled upload seconds (unscaled, for metrics and spans).
-func (p *OffloadPolicy) Ship(ctx context.Context, id, model string, f Frame, format imaging.Format, deadline time.Time) (*serve.InferResponseJSON, float64, error) {
+func (p *OffloadPolicy) Ship(ctx context.Context, id, model, tenant string, f Frame, format imaging.Format, deadline time.Time) (*serve.InferResponseJSON, float64, error) {
 	transmit := p.Link.TransmitOnlySeconds(len(f.Image), p.ChunkBytes)
 	uploadSec := transmit + p.Link.RTTSeconds
 	scale := p.linkScale()
@@ -202,6 +202,7 @@ func (p *OffloadPolicy) Ship(ctx context.Context, id, model string, f Frame, for
 	}
 	out, err := p.Cloud.Infer(ctx, model, serve.InferRequestJSON{
 		ID:          id,
+		Tenant:      tenant,
 		Items:       1,
 		Images:      [][]byte{f.Image},
 		ImageFormat: format.String(),

@@ -150,6 +150,14 @@ type ingestMetrics struct {
 	uplink metrics.LatencyRecorder
 }
 
+// TenantStreamStats is one tenant's share of the ingest tier: how many
+// sessions it has opened, and its frame/served volume.
+type TenantStreamStats struct {
+	Sessions int64 `json:"sessions"`
+	Frames   int64 `json:"frames"`
+	Served   int64 `json:"served"`
+}
+
 // Ingest owns the per-camera sessions and their shared configuration.
 type Ingest struct {
 	cfg Config
@@ -157,6 +165,38 @@ type Ingest struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
 	met      ingestMetrics
+
+	tmu     sync.Mutex
+	tenants map[string]TenantStreamStats
+}
+
+// tenantAdd folds deltas into one tenant's stream accounting.
+func (ing *Ingest) tenantAdd(tenant string, sessions, frames, served int64) {
+	if tenant == "" {
+		tenant = serve.DefaultTenant
+	}
+	ing.tmu.Lock()
+	st := ing.tenants[tenant]
+	st.Sessions += sessions
+	st.Frames += frames
+	st.Served += served
+	ing.tenants[tenant] = st
+	ing.tmu.Unlock()
+}
+
+// TenantStats snapshots per-tenant stream accounting (nil when no
+// tenant has streamed).
+func (ing *Ingest) TenantStats() map[string]TenantStreamStats {
+	ing.tmu.Lock()
+	defer ing.tmu.Unlock()
+	if len(ing.tenants) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantStreamStats, len(ing.tenants))
+	for k, v := range ing.tenants {
+		out[k] = v
+	}
+	return out
 }
 
 // NewIngest creates a streaming ingest tier over the local backend.
@@ -170,16 +210,21 @@ func NewIngest(cfg Config) (*Ingest, error) {
 	if _, err := cfg.Local.EstimateWait(cfg.Model, 1); err != nil {
 		return nil, fmt.Errorf("stream: local backend does not serve %q: %w", cfg.Model, err)
 	}
-	return &Ingest{cfg: cfg, sessions: make(map[string]*Session)}, nil
+	return &Ingest{cfg: cfg, sessions: make(map[string]*Session), tenants: make(map[string]TenantStreamStats)}, nil
 }
 
 // Open starts the camera's session, enforcing one live session per
-// camera ID. The caller must Close the session.
-func (ing *Ingest) Open(camera, model string, budget time.Duration) (*Session, error) {
+// camera ID. The caller must Close the session. tenant is canonicalized
+// through serve.ParseTenant ("" maps to the default tenant).
+func (ing *Ingest) Open(camera, model, tenant string, budget time.Duration) (*Session, error) {
 	if model == "" {
 		model = ing.cfg.Model
 	}
 	if _, err := ing.cfg.Local.EstimateWait(model, 1); err != nil {
+		return nil, err
+	}
+	tenant, err := serve.ParseTenant(tenant)
+	if err != nil {
 		return nil, err
 	}
 	if budget <= 0 {
@@ -193,11 +238,13 @@ func (ing *Ingest) Open(camera, model string, budget time.Duration) (*Session, e
 	s := &Session{
 		Camera: camera,
 		Model:  model,
+		Tenant: tenant,
 		Budget: budget,
 		ing:    ing,
 		cache:  newDedupCache(ing.cfg.dedupWindow()),
 	}
 	ing.sessions[camera] = s
+	ing.tenantAdd(tenant, 1, 0, 0)
 	return s, nil
 }
 
@@ -212,6 +259,7 @@ func (ing *Ingest) ActiveSessions() int {
 type Session struct {
 	Camera string
 	Model  string
+	Tenant string
 	Budget time.Duration
 
 	ing *Ingest
@@ -270,6 +318,7 @@ type Outcome struct {
 // the response stream.
 type Summary struct {
 	Camera        string `json:"camera"`
+	Tenant        string `json:"tenant,omitempty"`
 	Frames        int64  `json:"frames"`
 	ServedEdge    int64  `json:"served_edge"`
 	ServedCloud   int64  `json:"served_cloud"`
@@ -283,6 +332,7 @@ type Summary struct {
 func (s *Session) Summary() Summary {
 	return Summary{
 		Camera:        s.Camera,
+		Tenant:        s.Tenant,
 		Frames:        s.frames.Load(),
 		ServedEdge:    s.servedEdge.Load(),
 		ServedCloud:   s.servedCloud.Load(),
@@ -293,14 +343,25 @@ func (s *Session) Summary() Summary {
 	}
 }
 
-// Close waits for in-flight frame completions and releases the camera.
-func (s *Session) Close() {
-	s.wg.Wait()
+// detach releases the camera ID so a new session can open immediately,
+// without waiting for this session's in-flight frames. The ingest HTTP
+// handler detaches as soon as the client's request body ends (EOF or a
+// mid-stream disconnect): a camera that reconnects must not 409 against
+// its own dying session just because an admitted frame is still queued
+// behind a saturated serving tier. Idempotent, and a no-op if a newer
+// session already took the camera.
+func (s *Session) detach() {
 	s.ing.mu.Lock()
 	if s.ing.sessions[s.Camera] == s {
 		delete(s.ing.sessions, s.Camera)
 	}
 	s.ing.mu.Unlock()
+}
+
+// Close releases the camera and waits for in-flight frame completions.
+func (s *Session) Close() {
+	s.detach()
+	s.wg.Wait()
 }
 
 // span records a frame-lifecycle span on the session's camera track.
@@ -309,6 +370,10 @@ func (s *Session) span(name string, start time.Time, d time.Duration, args map[s
 	if rec == nil {
 		return
 	}
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["tenant"] = s.Tenant
 	rec.Add(trace.Span{
 		Name:     name,
 		Track:    "cam:" + s.Camera,
@@ -329,6 +394,7 @@ func (s *Session) HandleFrame(ctx context.Context, f Frame, emit func(Outcome)) 
 	recv := time.Now()
 	s.frames.Add(1)
 	s.ing.met.frames.Inc()
+	s.ing.tenantAdd(s.Tenant, 0, 1, 0)
 
 	// Per-stream ordering: frames must arrive with strictly increasing
 	// sequence numbers. A regressed or duplicated seq is rejected, not
@@ -434,6 +500,7 @@ func (s *Session) serveEdge(ctx context.Context, f Frame, format imaging.Format,
 	resp, err := s.ing.cfg.Local.Submit(ctx, &serve.Request{
 		ID:          s.frameID(f.Seq),
 		Model:       s.Model,
+		Tenant:      s.Tenant,
 		Items:       1,
 		Images:      [][]byte{f.Image},
 		ImageFormat: format,
@@ -457,7 +524,7 @@ func (s *Session) serveEdge(ctx context.Context, f Frame, format imaging.Format,
 // serveCloud ships the frame over the modeled uplink to the cloud tier.
 func (s *Session) serveCloud(ctx context.Context, f Frame, format imaging.Format, hash uint64, recv, deadline time.Time, emit func(Outcome)) {
 	p := s.ing.cfg.Offload
-	out, uploadSec, err := p.Ship(ctx, s.frameID(f.Seq), s.Model, f, format, deadline)
+	out, uploadSec, err := p.Ship(ctx, s.frameID(f.Seq), s.Model, s.Tenant, f, format, deadline)
 	if uploadSec > 0 {
 		s.ing.met.uplink.Observe(uploadSec)
 		s.span("uplink", recv, time.Duration(uploadSec*float64(time.Second)), map[string]any{
@@ -480,6 +547,7 @@ func (s *Session) served(seq int64, recv time.Time, where string, hash uint64, c
 		s.servedEdge.Add(1)
 		s.ing.met.servedEdge.Inc()
 	}
+	s.ing.tenantAdd(s.Tenant, 0, 0, 1)
 	if s.ing.cfg.dedupWindow() > 0 {
 		s.mu.Lock()
 		s.cache.insert(hash, class, where, time.Now())

@@ -119,7 +119,7 @@ func TestOutOfOrderFramesRejected(t *testing.T) {
 	t.Parallel()
 	fb := &fakeBackend{}
 	ing := newIngest(t, stream.Config{Model: "ViT_Tiny", Local: fb, Budget: time.Second})
-	sess, err := ing.Open("cam-a", "", 0)
+	sess, err := ing.Open("cam-a", "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestDropStaleNeverReachesBatcher(t *testing.T) {
 	ing := newIngest(t, stream.Config{Model: "ViT_Tiny", Local: srv})
 	// Budget below the 5ms batching window: the wait estimate alone
 	// blows the deadline for every frame.
-	sess, err := ing.Open("cam-tight", "", time.Millisecond)
+	sess, err := ing.Open("cam-tight", "", "", time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestDropStaleNeverReachesBatcher(t *testing.T) {
 
 	// Control: the same frame with a generous budget is admitted and
 	// served — the gate sheds staleness, not traffic.
-	sess2, err := ing.Open("cam-roomy", "", 5*time.Second)
+	sess2, err := ing.Open("cam-roomy", "", "", 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestDedupHitOnNearIdenticalMissOnDistinct(t *testing.T) {
 		Model: "ViT_Tiny", Local: fb,
 		Budget: time.Second, DedupTTL: time.Minute,
 	})
-	sess, err := ing.Open("cam-d", "", 0)
+	sess, err := ing.Open("cam-d", "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestOffloadFlipsUnderQueuePressure(t *testing.T) {
 		DedupWindow: -1, // isolate the offload path from dedup
 		Offload:     pol,
 	})
-	sess, err := ing.Open("cam-o", "", 0)
+	sess, err := ing.Open("cam-o", "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,14 +371,14 @@ func TestStreamHTTPEndToEnd(t *testing.T) {
 	ts := httptest.NewServer(ing.Handler())
 	defer ts.Close()
 
-	sess, err := stream.DialSession(context.Background(), ts.Client(), ts.URL, "cam-1", "", 0)
+	sess, err := stream.DialSession(context.Background(), ts.Client(), ts.URL, "cam-1", "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// A second session for the same camera must be refused while the
 	// first is live.
-	if _, err := stream.DialSession(context.Background(), ts.Client(), ts.URL, "cam-1", "", 0); err == nil {
+	if _, err := stream.DialSession(context.Background(), ts.Client(), ts.URL, "cam-1", "", "", 0); err == nil {
 		t.Fatal("duplicate camera session accepted")
 	} else {
 		var se *stream.SessionError
@@ -431,7 +431,7 @@ func TestStreamHTTPEndToEnd(t *testing.T) {
 	}
 
 	// The camera freed on close: a new session may open.
-	sess2, err := stream.DialSession(context.Background(), ts.Client(), ts.URL, "cam-1", "", 0)
+	sess2, err := stream.DialSession(context.Background(), ts.Client(), ts.URL, "cam-1", "", "", 0)
 	if err != nil {
 		t.Fatalf("camera not released after close: %v", err)
 	}
@@ -446,4 +446,125 @@ func asSessionError(err error, target **stream.SessionError) bool {
 		*target = se
 	}
 	return ok
+}
+
+// stuckBackend's Submit ignores context cancellation and completes only
+// when released — a frame occupying the serving tier long after its
+// camera has gone away.
+type stuckBackend struct {
+	submits atomic.Int64
+	release chan struct{}
+}
+
+func (b *stuckBackend) Submit(ctx context.Context, req *serve.Request) (*serve.Response, error) {
+	b.submits.Add(1)
+	<-b.release
+	return &serve.Response{ID: req.ID, Model: req.Model, Items: req.Items}, nil
+}
+func (b *stuckBackend) EstimateWait(model string, items int) (time.Duration, error) { return 0, nil }
+func (b *stuckBackend) QueueDepth(model string) (int64, error)                      { return 0, nil }
+
+// TestStreamReconnectAfterDisconnect is the session-leak regression
+// test: a camera whose connection dies mid-stream — with a frame still
+// in flight on the serving tier — must be able to reconnect immediately
+// instead of getting 409 ErrSessionActive against its own dead session.
+func TestStreamReconnectAfterDisconnect(t *testing.T) {
+	t.Parallel()
+	bk := &stuckBackend{release: make(chan struct{})}
+	ing := newIngest(t, stream.Config{Model: "ViT_Tiny", Local: bk, Budget: time.Minute})
+	ts := httptest.NewServer(ing.Handler())
+	defer ts.Close()
+	// Registered after ts.Close so it runs first: ts.Close waits for the
+	// stuck handler, which only exits once the backend is released.
+	defer close(bk.release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sess, err := stream.DialSession(ctx, ts.Client(), ts.URL, "cam-r", "", "farm-a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range sess.Outcomes() {
+		}
+	}()
+	if err := sess.Send(stream.Frame{Seq: 1, Image: frameBytes(t, imaging.KindLeaf, 3, 48), Format: "ppm"}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the frame is parked on the serving tier.
+	deadline := time.Now().Add(5 * time.Second)
+	for bk.submits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("frame never reached the backend")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The camera disconnects mid-stream: the server's body read errors
+	// while the submitted frame is still in flight.
+	cancel()
+
+	// Reconnecting must succeed promptly — the dying session detaches the
+	// camera ID on disconnect, before waiting out its in-flight frame.
+	var sess2 *stream.ClientSession
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		sess2, err = stream.DialSession(context.Background(), ts.Client(), ts.URL, "cam-r", "", "farm-a", 0)
+		if err == nil {
+			break
+		}
+		var se *stream.SessionError
+		if !asSessionError(err, &se) || se.Status != http.StatusConflict {
+			t.Fatalf("reconnect failed with non-409: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("camera still 409-conflicted after disconnect: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The old frame must still be stuck: reconnection worked *while* the
+	// previous session had work in flight, not after it drained.
+	if bk.submits.Load() != 1 {
+		t.Fatalf("backend submits = %d, want the one stuck frame", bk.submits.Load())
+	}
+	if err := sess2.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamTenantAccounting: the tenant tag on a session shows up in
+// the session summary and the ingest tier's per-tenant stats.
+func TestStreamTenantAccounting(t *testing.T) {
+	t.Parallel()
+	fb := &fakeBackend{}
+	ing := newIngest(t, stream.Config{Model: "ViT_Tiny", Local: fb, Budget: time.Second})
+	ts := httptest.NewServer(ing.Handler())
+	defer ts.Close()
+
+	sess, err := stream.DialSession(context.Background(), ts.Client(), ts.URL, "cam-t", "", "farm-b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range sess.Outcomes() {
+		}
+	}()
+	if err := sess.Send(stream.Frame{Seq: 1, Image: frameBytes(t, imaging.KindRows, 9, 48), Format: "ppm"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	summary, err := sess.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Tenant != "farm-b" {
+		t.Errorf("summary tenant %q, want farm-b", summary.Tenant)
+	}
+	st := ing.TenantStats()
+	if st["farm-b"].Sessions != 1 || st["farm-b"].Frames != 1 || st["farm-b"].Served != 1 {
+		t.Errorf("tenant stream stats %+v", st["farm-b"])
+	}
 }

@@ -109,7 +109,23 @@ type chromeMeta struct {
 // WriteChrome serializes the recording as a Chrome trace-event JSON
 // array. Tracks become thread rows with stable ids.
 func (r *Recorder) WriteChrome(w io.Writer) error {
+	return r.WriteChromeFiltered(w, nil)
+}
+
+// WriteChromeFiltered is WriteChrome restricted to spans satisfying
+// keep (nil keeps everything). Tracks with no surviving spans are
+// omitted.
+func (r *Recorder) WriteChromeFiltered(w io.Writer, keep func(Span) bool) error {
 	spans := r.Spans()
+	if keep != nil {
+		kept := spans[:0]
+		for _, s := range spans {
+			if keep(s) {
+				kept = append(kept, s)
+			}
+		}
+		spans = kept
+	}
 	trackIDs := map[string]int{}
 	var tracks []string
 	for _, s := range spans {
